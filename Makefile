@@ -1,0 +1,27 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test bench doc clean examples
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/dac_tradeoff.exe
+	dune exec examples/parallel_wires.exe
+	dune exec examples/layout_gallery.exe
+	dune exec examples/sar_adc.exe
+	dune exec examples/segmented_dac.exe
+	dune exec examples/yield_sizing.exe
+	dune exec examples/refine_frontier.exe
+
+clean:
+	dune clean

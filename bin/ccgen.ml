@@ -1,0 +1,356 @@
+(* ccgen: command-line front end for the constructive common-centroid
+   capacitor-array layout flow.
+
+     ccgen place   -b 8 -s spiral          render a placement
+     ccgen run     -b 8 -s bc -g 4         full flow + metric summary
+     ccgen compare -b 8                    the four methods side by side
+     ccgen tables                          regenerate the paper's tables
+     ccgen sweep   -b 8                    parallel-wire sweep (Fig. 6a)
+*)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Print debug logs (stage timings)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let style_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "spiral" | "s" -> Ok `Spiral
+    | "chessboard" | "chess" | "7" -> Ok `Chessboard
+    | "rowwise" | "baseline" | "1" -> Ok `Rowwise
+    | "bc" | "block" | "block-chessboard" -> Ok `Block
+    | other -> Error (`Msg (Printf.sprintf "unknown style %S" other))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+       | `Spiral -> "spiral"
+       | `Chessboard -> "chessboard"
+       | `Rowwise -> "rowwise"
+       | `Block -> "bc")
+  in
+  Arg.conv (parse, print)
+
+let resolve_style ~bits ~granularity = function
+  | `Spiral -> Ccplace.Style.Spiral
+  | `Chessboard -> Ccplace.Style.Chessboard
+  | `Rowwise -> Ccplace.Style.Rowwise
+  | `Block ->
+    Ccplace.Style.Block_chess
+      { core_bits = Ccplace.Block_chess.default_core_bits ~bits; granularity }
+
+let bits_arg =
+  let doc = "DAC resolution N in bits (the array holds 2^N unit capacitors)." in
+  Arg.(value & opt int 8 & info [ "b"; "bits" ] ~docv:"N" ~doc)
+
+let style_arg =
+  let doc = "Placement style: spiral, chessboard ([7]), rowwise ([1] proxy), bc." in
+  Arg.(value & opt style_conv `Spiral & info [ "s"; "style" ] ~docv:"STYLE" ~doc)
+
+let gran_arg =
+  let doc = "Block-chessboard granularity (cells per block side)." in
+  Arg.(value & opt int 2 & info [ "g"; "granularity" ] ~docv:"G" ~doc)
+
+let tech_arg =
+  let doc = "Technology preset: finfet (default) or bulk." in
+  let tech_conv =
+    Arg.conv
+      ( (fun s ->
+           match String.lowercase_ascii s with
+           | "finfet" | "finfet-12nm" -> Ok Tech.Process.finfet_12nm
+           | "bulk" | "legacy" -> Ok Tech.Process.bulk_legacy
+           | _ when Sys.file_exists s -> begin
+               match Tech.Techfile.load ~path:s with
+               | Ok tech -> Ok tech
+               | Error msg ->
+                 Error (`Msg (Printf.sprintf "tech file %s: %s" s msg))
+             end
+           | other ->
+             Error
+               (`Msg
+                  (Printf.sprintf
+                     "unknown tech %S (use finfet, bulk, or a tech file path)"
+                     other)) ),
+        fun ppf t -> Format.pp_print_string ppf t.Tech.Process.name )
+  in
+  Arg.(value & opt tech_conv Tech.Process.finfet_12nm
+       & info [ "t"; "tech" ] ~docv:"TECH" ~doc)
+
+let check_bits bits =
+  if bits < 2 || bits > Ccgrid.Weights.max_bits then begin
+    Printf.eprintf "ccgen: bits must be in [2, %d]\n" Ccgrid.Weights.max_bits;
+    exit 2
+  end
+
+(* --- place --- *)
+
+let place_cmd =
+  let save_arg =
+    let doc = "Also save the placement to this file (ccdac-placement v1)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run bits style granularity save =
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    let p = Ccplace.Style.place ~bits style in
+    Printf.printf "%s, %d-bit, %dx%d array\n\n" (Ccplace.Style.name style) bits
+      p.Ccgrid.Placement.rows p.Ccgrid.Placement.cols;
+    print_string (Ccgrid.Render.ascii p);
+    Printf.printf "\nlegend: %s\n" (Ccgrid.Render.legend p);
+    match save with
+    | None -> ()
+    | Some path ->
+      Ccgrid.Serial.save p ~path;
+      Printf.printf "saved to %s\n" path
+  in
+  let doc = "Build a placement and render it as ASCII art." in
+  Cmd.v (Cmd.info "place" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ save_arg)
+
+(* --- run --- *)
+
+let refine_arg =
+  let doc =
+    "Apply the mirror-pair swap refinement with this swap budget before \
+     routing (0 = off)."
+  in
+  Arg.(value & opt int 0 & info [ "r"; "refine" ] ~docv:"SWAPS" ~doc)
+
+let load_arg =
+  let doc = "Analyse a saved placement file instead of placing." in
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let run bits style granularity tech refine_swaps verbose load =
+    setup_logs verbose;
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    match load with
+    | Some path -> begin
+        match Ccgrid.Serial.load ~path with
+        | Error msg ->
+          Printf.eprintf "ccgen: %s: %s\n" path msg;
+          exit 1
+        | Ok placement ->
+          print_string
+            (Ccdac.Report.summary (Ccdac.Flow.run_placement ~tech placement))
+      end
+    | None ->
+    let r =
+      if refine_swaps <= 0 then Ccdac.Flow.run ~tech ~bits style
+      else begin
+        let placement = Ccplace.Style.place ~bits style in
+        let refined, stats =
+          Ccplace.Refine.refine tech ~max_passes:50 ~max_swaps:refine_swaps
+            placement
+        in
+        Printf.printf "refinement: %d swaps, energy %.1f -> %.1f\n\n"
+          stats.Ccplace.Refine.swaps stats.Ccplace.Refine.initial_energy
+          stats.Ccplace.Refine.final_energy;
+        Ccdac.Flow.run_placement ~tech ~style refined
+      end
+    in
+    print_string (Ccdac.Report.summary r)
+  in
+  let doc = "Run the full flow (place, route, extract, analyse) and report." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ refine_arg
+          $ verbose_arg $ load_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run bits tech =
+    check_bits bits;
+    let rows = [ (bits, Ccdac.Sweep.row ~tech ~bits ()) ] in
+    print_string (Ccdac.Report.table1 rows);
+    print_newline ();
+    print_string (Ccdac.Report.table2 rows)
+  in
+  let doc = "Compare the four methods ([1], [7], S, best BC) at one resolution." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ bits_arg $ tech_arg)
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let run tech =
+    let rows =
+      List.map (fun bits -> (bits, Ccdac.Sweep.row ~tech ~bits ())) [ 6; 7; 8; 9; 10 ]
+    in
+    print_string (Ccdac.Report.table1 rows);
+    print_newline ();
+    print_string (Ccdac.Report.table2 rows);
+    print_newline ();
+    let runtimes =
+      List.map
+        (fun bits ->
+           let _, s = Ccdac.Flow.place_route ~tech ~bits Ccplace.Style.Spiral in
+           let _, b =
+             Ccdac.Flow.place_route ~tech ~bits (Ccplace.Style.block_default ~bits)
+           in
+           (bits, s, b))
+        [ 6; 7; 8; 9; 10 ]
+    in
+    print_string (Ccdac.Report.table3 runtimes);
+    print_newline ();
+    print_string (Ccdac.Report.fig6b rows)
+  in
+  let doc = "Regenerate the paper's Tables I-III and Fig. 6b." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ tech_arg)
+
+(* --- svg --- *)
+
+let svg_cmd =
+  let out_arg =
+    let doc = "Output SVG file path." in
+    Arg.(value & opt string "layout.svg" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run bits style granularity tech path =
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    let p = Ccplace.Style.place ~bits style in
+    let layout =
+      Ccroute.Layout.route tech
+        ~p_of_cap:(Ccdac.Flow.default_parallel ~bits style) p
+    in
+    Ccroute.Check.assert_clean layout;
+    Ccroute.Svg.write layout ~path;
+    Printf.printf "wrote %s (%.0f x %.0f um, %d wires)\n" path
+      layout.Ccroute.Layout.width layout.Ccroute.Layout.height
+      (List.length layout.Ccroute.Layout.wires)
+  in
+  let doc = "Route a placement and render it to SVG (cf. the paper's Fig. 5)." in
+  Cmd.v (Cmd.info "svg" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ out_arg)
+
+(* --- mc --- *)
+
+let mc_cmd =
+  let trials_arg =
+    let doc = "Number of Monte-Carlo trials." in
+    Arg.(value & opt int 500 & info [ "n"; "trials" ] ~docv:"N" ~doc)
+  in
+  let run bits style granularity tech trials =
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    let r = Ccdac.Flow.run ~tech ~bits style in
+    let mc =
+      Dacmodel.Montecarlo.run tech ~trials
+        ~top_parasitic:r.Ccdac.Flow.parasitics.Extract.Parasitics.total_top_cap
+        r.Ccdac.Flow.placement
+    in
+    Printf.printf
+      "%s %d-bit, %d trials\n\
+      \  analytic 3-sigma : INL %.3f / DNL %.3f LSB\n\
+      \  Monte-Carlo mean : INL %.3f / DNL %.3f LSB\n\
+      \  Monte-Carlo p95  : INL %.3f / DNL %.3f LSB\n\
+      \  Monte-Carlo max  : INL %.3f / DNL %.3f LSB\n\
+      \  yield (0.5 LSB)  : %.1f%%\n"
+      (Ccplace.Style.name style) bits trials r.Ccdac.Flow.max_inl
+      r.Ccdac.Flow.max_dnl mc.Dacmodel.Montecarlo.mean_inl
+      mc.Dacmodel.Montecarlo.mean_dnl mc.Dacmodel.Montecarlo.p95_inl
+      mc.Dacmodel.Montecarlo.p95_dnl mc.Dacmodel.Montecarlo.max_inl
+      mc.Dacmodel.Montecarlo.max_dnl
+      (100. *. mc.Dacmodel.Montecarlo.yield)
+  in
+  let doc = "Monte-Carlo linearity analysis (the numerical-yield alternative)." in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ trials_arg)
+
+(* --- spectrum --- *)
+
+let spectrum_cmd =
+  let seed_arg =
+    let doc = "Mismatch sample seed (negative = nominal, no random sample)." in
+    Arg.(value & opt int (-1) & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run bits style granularity tech seed =
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    let p = Ccplace.Style.place ~bits style in
+    let sample =
+      if seed < 0 then None
+      else begin
+        let cov =
+          Capmodel.Covariance.build tech
+            (Ccgrid.Placement.positions_by_cap tech p)
+        in
+        Some (Capmodel.Gauss.draw (Capmodel.Gauss.sampler ~seed cov))
+      end
+    in
+    let s = Dacmodel.Spectrum.analyze tech ?sample p in
+    Printf.printf
+      "%s %d-bit%s\n\
+      \  SNDR : %.1f dB (ideal bound %.1f dB)\n\
+      \  SFDR : %.1f dB\n\
+      \  THD  : %.1f dB\n\
+      \  ENOB : %.2f bits\n"
+      (Ccplace.Style.name style) bits
+      (if seed < 0 then " (nominal)" else Printf.sprintf " (sample seed %d)" seed)
+      s.Dacmodel.Spectrum.sndr_db
+      (Dacmodel.Spectrum.ideal_sndr_db ~bits)
+      s.Dacmodel.Spectrum.sfdr_db s.Dacmodel.Spectrum.thd_db
+      s.Dacmodel.Spectrum.enob
+  in
+  let doc = "Spectral characterisation: SNDR/SFDR/THD of a reconstructed sine." in
+  Cmd.v (Cmd.info "spectrum" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ seed_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run bits style granularity tech =
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    let p = Ccplace.Style.place ~bits style in
+    let layout =
+      Ccroute.Layout.route tech
+        ~p_of_cap:(Ccdac.Flow.default_parallel ~bits style) p
+    in
+    match Ccroute.Check.run layout with
+    | [] ->
+      Printf.printf "%s %d-bit: layout clean (%d wires, %d vias checked)\n"
+        (Ccplace.Style.name style) bits
+        (List.length layout.Ccroute.Layout.wires)
+        (List.length layout.Ccroute.Layout.vias)
+    | violations ->
+      List.iter
+        (fun v ->
+           Printf.printf "%s\n" (Format.asprintf "%a" Ccroute.Check.pp_violation v))
+        violations;
+      exit 1
+  in
+  let doc = "Route a placement and run the post-route verification checks." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let run bits tech =
+    check_bits bits;
+    let points =
+      Ccdac.Sweep.parallel_sweep ~tech ~bits ~style:Ccplace.Style.Spiral
+        [ 1; 2; 3; 4; 5; 6 ]
+    in
+    print_string (Ccdac.Report.fig6a [ (bits, points) ])
+  in
+  let doc = "Sweep the number of parallel wires on the spiral (Fig. 6a)." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ bits_arg $ tech_arg)
+
+let main =
+  let doc =
+    "constructive common-centroid placement and routing for binary-weighted \
+     capacitor arrays (DATE 2022 reproduction)"
+  in
+  Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
+    [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; svg_cmd; mc_cmd;
+      verify_cmd; spectrum_cmd ]
+
+let () = exit (Cmd.eval main)

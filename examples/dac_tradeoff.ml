@@ -1,0 +1,69 @@
+(* Design-space exploration for a DAC capacitor array: which layout style
+   should a 6-10 bit charge-scaling DAC use, given a switching-speed target
+   and a linearity budget?
+
+   This is the workload the paper's introduction motivates: the DAC
+   designer must trade the 3 dB frequency of the array against INL/DNL.
+
+   Run with: dune exec examples/dac_tradeoff.exe [-- min_f3db_mhz] *)
+
+let pick_for ~bits ~min_f3db_mhz =
+  let candidates =
+    List.map
+      (fun style -> Ccdac.Flow.run ~bits style)
+      (Ccplace.Style.Spiral :: Ccplace.Style.Chessboard
+       :: Ccplace.Style.Rowwise
+       :: Ccplace.Style.block_family ~bits)
+  in
+  let feasible =
+    List.filter
+      (fun (r : Ccdac.Flow.result) ->
+         r.Ccdac.Flow.f3db_mhz >= min_f3db_mhz
+         && r.Ccdac.Flow.max_inl <= 0.5 && r.Ccdac.Flow.max_dnl <= 0.5)
+      candidates
+  in
+  (* among feasible layouts, take the best matching (lowest DNL) *)
+  let best =
+    List.fold_left
+      (fun acc r ->
+         match acc with
+         | None -> Some r
+         | Some b ->
+           if r.Ccdac.Flow.max_dnl < b.Ccdac.Flow.max_dnl then Some r else acc)
+      None feasible
+  in
+  (candidates, best)
+
+let () =
+  let min_f3db_mhz =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 400.
+  in
+  Printf.printf
+    "Layout selection for charge-scaling DACs (target f3dB >= %.0f MHz)\n\n"
+    min_f3db_mhz;
+  List.iter
+    (fun bits ->
+       let candidates, best = pick_for ~bits ~min_f3db_mhz in
+       Printf.printf "%d-bit DAC\n" bits;
+       Printf.printf "  %-26s %10s %8s %8s %10s\n" "style" "f3dB MHz" "INL" "DNL"
+         "area um^2";
+       List.iter
+         (fun (r : Ccdac.Flow.result) ->
+            Printf.printf "  %-26s %10.1f %8.3f %8.3f %10.0f%s\n"
+              (Ccplace.Style.name r.Ccdac.Flow.style)
+              r.Ccdac.Flow.f3db_mhz r.Ccdac.Flow.max_inl r.Ccdac.Flow.max_dnl
+              r.Ccdac.Flow.area
+              (match best with
+               | Some b when b == r -> "   <= selected"
+               | Some _ | None -> ""))
+         candidates;
+       (match best with
+        | None ->
+          Printf.printf
+            "  -> no style meets %.0f MHz with <0.5 LSB linearity at %d bits\n"
+            min_f3db_mhz bits
+        | Some b ->
+          Printf.printf "  -> use %s\n"
+            (Ccplace.Style.name b.Ccdac.Flow.style));
+       print_newline ())
+    [ 6; 7; 8; 9; 10 ]

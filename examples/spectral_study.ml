@@ -1,0 +1,66 @@
+(* Dynamic (spectral) characterisation of the layout styles.
+
+   Static INL tells you the worst code error; what a signal chain feels is
+   the harmonic distortion that the INL pattern imprints on a
+   reconstructed sine.  This example reconstructs a coherently-sampled
+   full-swing sine through each placed array (with one common mismatch
+   sample, so the comparison is apples-to-apples) and reports SNDR / SFDR
+   / THD / dynamic ENOB.
+
+   Run with: dune exec examples/spectral_study.exe *)
+
+let tech = Tech.Process.finfet_12nm
+let bits = 8
+
+(* exaggerated mismatch so the styles separate visibly in one sample *)
+let noisy = { tech with Tech.Process.mismatch_coeff = 0.02 }
+
+let () =
+  Printf.printf
+    "Spectral study, %d-bit, one shared mismatch sample (A_f x10)\n\n" bits;
+  Printf.printf "ideal quantisation bound: SNDR = %.1f dB\n\n"
+    (Dacmodel.Spectrum.ideal_sndr_db ~bits);
+  Printf.printf "%-26s %9s %9s %9s %7s\n" "style" "SNDR dB" "SFDR dB" "THD dB"
+    "ENOB";
+  List.iter
+    (fun style ->
+       let p = Ccplace.Style.place ~bits style in
+       let cov =
+         Capmodel.Covariance.build noisy
+           (Ccgrid.Placement.positions_by_cap noisy p)
+       in
+       let sample = Capmodel.Gauss.draw (Capmodel.Gauss.sampler ~seed:7 cov) in
+       let s = Dacmodel.Spectrum.analyze noisy ~sample p in
+       Printf.printf "%-26s %9.1f %9.1f %9.1f %7.2f\n"
+         (Ccplace.Style.name style) s.Dacmodel.Spectrum.sndr_db
+         s.Dacmodel.Spectrum.sfdr_db s.Dacmodel.Spectrum.thd_db
+         s.Dacmodel.Spectrum.enob)
+    [ Ccplace.Style.Spiral;
+      Ccplace.Style.Chessboard;
+      Ccplace.Style.Rowwise;
+      Ccplace.Style.block_default ~bits ];
+  print_newline ();
+  (* worst spurs of the spiral's spectrum, for the curious *)
+  let p = Ccplace.Style.place ~bits Ccplace.Style.Spiral in
+  let cov =
+    Capmodel.Covariance.build noisy (Ccgrid.Placement.positions_by_cap noisy p)
+  in
+  let sample = Capmodel.Gauss.draw (Capmodel.Gauss.sampler ~seed:7 cov) in
+  let s = Dacmodel.Spectrum.analyze noisy ~sample p in
+  let spurs =
+    let indexed =
+      Array.mapi (fun k v -> (k, v)) s.Dacmodel.Spectrum.spectrum_db
+    in
+    Array.sort (fun (_, a) (_, b) -> Float.compare b a) indexed;
+    Array.to_list indexed
+    |> List.filter (fun (k, _) -> k <> s.Dacmodel.Spectrum.signal_bin && k > 0)
+    |> List.filteri (fun i _ -> i < 5)
+  in
+  Printf.printf "spiral's five worst spurs (bin, dBc):";
+  List.iter (fun (k, v) -> Printf.printf "  (%d, %.1f)" k v) spurs;
+  print_newline ();
+  print_endline
+    "\nMismatch turns the static INL pattern into harmonics: the dispersed";
+  print_endline
+    "chessboard keeps the cleanest spectrum, the clustered spiral the";
+  print_endline "dirtiest - the same ordering as Table II, now in dB."

@@ -1,0 +1,57 @@
+type t = {
+  matrix : float array array;  (* Cov(j, k), fF^2; symmetric *)
+}
+
+let build tech positions =
+  let n = Array.length positions in
+  let sigma2_u =
+    let s = Tech.Process.sigma_u tech in
+    s *. s
+  in
+  let matrix = Array.make_matrix n n 0. in
+  for j = 0 to n - 1 do
+    let count_j = float_of_int (Array.length positions.(j)) in
+    let intra = Mismatch.intra_sum tech positions.(j) in
+    matrix.(j).(j) <- sigma2_u *. (count_j +. (2. *. intra));
+    for k = j + 1 to n - 1 do
+      let cross = sigma2_u *. Mismatch.pair_sum tech positions.(j) positions.(k) in
+      matrix.(j).(k) <- cross;
+      matrix.(k).(j) <- cross
+    done
+  done;
+  { matrix }
+
+let size t = Array.length t.matrix
+
+let check_index t k =
+  if k < 0 || k >= size t then invalid_arg "Covariance: capacitor index out of range"
+
+let variance t k =
+  check_index t k;
+  t.matrix.(k).(k)
+
+let covariance t j k =
+  check_index t j;
+  check_index t k;
+  t.matrix.(j).(k)
+
+let sigma_weighted t ws =
+  let total =
+    List.fold_left
+      (fun acc (j, wj) ->
+         List.fold_left
+           (fun acc (k, wk) -> acc +. (wj *. wk *. covariance t j k))
+           acc ws)
+      0. ws
+  in
+  sqrt (Float.max 0. total)
+
+let sigma_of_subset t ks =
+  let total =
+    List.fold_left
+      (fun acc j ->
+         List.fold_left (fun acc k -> acc +. covariance t j k) acc ks)
+      0. ks
+  in
+  (* numerical noise can push a tiny variance below zero *)
+  sqrt (Float.max 0. total)

@@ -1,0 +1,34 @@
+(** Capacitor-pair covariance engine (Eq. 6).
+
+    For capacitors [C_p] (with [p] unit cells) and [C_q]:
+    [sigma_p^2 = sigma_u^2 (p + 2 S_p)] and
+    [Cov(p, q) = sigma_u^2 S_pq].  A built value caches the full
+    covariance matrix over the capacitors of one placement, which the
+    nonlinearity model (Eq. 13–14) queries for every input code. *)
+
+type t
+
+(** [build tech positions] precomputes the covariance matrix for capacitors
+    whose unit-cell centre positions are given per capacitor index.
+    Cost is quadratic in the total number of unit cells. *)
+val build : Tech.Process.t -> Geom.Point.t array array -> t
+
+(** Number of capacitors. *)
+val size : t -> int
+
+(** [variance t k] is [sigma_k^2] in fF^2.  [Cov(k, k) = variance t k]. *)
+val variance : t -> int -> float
+
+(** [covariance t j k] in fF^2; symmetric. *)
+val covariance : t -> int -> int -> float
+
+(** [sigma_of_subset t ks] is the standard deviation (fF) of the sum of the
+    capacitors with indices [ks]: [sqrt(sum_j sum_k Cov(j,k))] (Eq. 13–14).
+    Indices may not repeat. *)
+val sigma_of_subset : t -> int list -> float
+
+(** [sigma_weighted t ws] is the standard deviation (fF) of the weighted
+    sum [sum w_k dC_k]: [sqrt(sum_j sum_k w_j w_k Cov(j,k))].  Used for the
+    code-to-code differential in the DNL model, where the weights are
+    [D_k(i) - D_k(i-1)] in [-1, 0, 1]. *)
+val sigma_weighted : t -> (int * float) list -> float

@@ -1,0 +1,28 @@
+let thickness_ratio (tech : Tech.Process.t) ?theta (p : Geom.Point.t) =
+  let theta = Option.value theta ~default:tech.Tech.Process.gradient_theta in
+  let g = tech.Tech.Process.gradient_ppm *. 1e-6 in
+  let projection = (p.Geom.Point.x *. cos theta) +. (p.Geom.Point.y *. sin theta) in
+  1. /. (1. +. (g *. projection))
+
+let unit_value tech ?theta p =
+  tech.Tech.Process.unit_cap *. thickness_ratio tech ?theta p
+
+let capacitor_value tech ?theta positions =
+  Array.fold_left (fun acc p -> acc +. unit_value tech ?theta p) 0. positions
+
+let systematic_shift tech ?theta positions =
+  let nominal =
+    float_of_int (Array.length positions) *. tech.Tech.Process.unit_cap
+  in
+  capacitor_value tech ?theta positions -. nominal
+
+let worst_theta ~samples ~objective =
+  if samples < 1 then invalid_arg "Gradient.worst_theta: samples must be >= 1";
+  let best = ref (0., objective 0.) in
+  for i = 1 to samples - 1 do
+    let theta = Float.pi *. float_of_int i /. float_of_int samples in
+    let value = objective theta in
+    let _, best_value = !best in
+    if value > best_value then best := (theta, value)
+  done;
+  !best

@@ -1,0 +1,32 @@
+type t = Geom.Point.t -> float
+
+let linear ~ppm_per_um ~theta (p : Geom.Point.t) =
+  ppm_per_um *. 1e-6
+  *. ((p.Geom.Point.x *. cos theta) +. (p.Geom.Point.y *. sin theta))
+
+let quadratic ~ppm_per_um2 ~center (p : Geom.Point.t) =
+  let d = Geom.Point.distance p center in
+  ppm_per_um2 *. 1e-6 *. d *. d
+
+let saddle ~ppm_per_um2 (p : Geom.Point.t) =
+  ppm_per_um2 *. 1e-6
+  *. ((p.Geom.Point.x *. p.Geom.Point.x) -. (p.Geom.Point.y *. p.Geom.Point.y))
+
+let combine profiles p = List.fold_left (fun acc f -> acc +. f p) 0. profiles
+let custom f = f
+
+let of_tech (tech : Tech.Process.t) =
+  linear ~ppm_per_um:tech.Tech.Process.gradient_ppm
+    ~theta:tech.Tech.Process.gradient_theta
+
+let deviation t p = t p
+
+let unit_value (tech : Tech.Process.t) t p =
+  tech.Tech.Process.unit_cap /. (1. +. t p)
+
+let capacitor_value tech t positions =
+  Array.fold_left (fun acc p -> acc +. unit_value tech t p) 0. positions
+
+let systematic_shift tech t positions =
+  capacitor_value tech t positions
+  -. (float_of_int (Array.length positions) *. tech.Tech.Process.unit_cap)

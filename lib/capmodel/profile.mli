@@ -1,0 +1,48 @@
+(** Generalised systematic-variation profiles.
+
+    The paper's Sec. II-C1 models a {e linear} oxide gradient, which an
+    exactly common-centroid placement cancels to first order — making the
+    random component dominate.  Real oxide/etch profiles also carry
+    curvature, and a quadratic (bowl) term is {e not} cancelled by
+    centroid symmetry: only dispersion fights it.  This module extends the
+    variation model to arbitrary thickness profiles so that effect can be
+    studied (see the bench ablation).
+
+    A profile maps a position to the {e relative} oxide-thickness
+    deviation [dt / t0]; the unit-capacitor value follows
+    [C = C_u / (1 + dt/t0)] as in Eq. 3. *)
+
+type t
+
+(** [linear ~ppm_per_um ~theta] is the paper's gradient (Sec. II-C1). *)
+val linear : ppm_per_um:float -> theta:float -> t
+
+(** [quadratic ~ppm_per_um2 ~center] is a rotationally-symmetric bowl:
+    [dt/t0 = ppm_per_um2 * 1e-6 * |p - center|^2]. *)
+val quadratic : ppm_per_um2:float -> center:Geom.Point.t -> t
+
+(** [saddle ~ppm_per_um2] is [dt/t0 = k (x^2 - y^2)] — curvature that a
+    square-symmetric placement does not average out along one diagonal. *)
+val saddle : ppm_per_um2:float -> t
+
+(** [combine profiles] sums the deviations. *)
+val combine : t list -> t
+
+(** [custom f] wraps an arbitrary deviation function. *)
+val custom : (Geom.Point.t -> float) -> t
+
+(** [of_tech tech] is the [linear] profile configured by the technology
+    (gradient magnitude and angle). *)
+val of_tech : Tech.Process.t -> t
+
+(** [deviation t p] is [dt / t0] at point [p]. *)
+val deviation : t -> Geom.Point.t -> float
+
+(** [unit_value tech t p] is the unit-capacitor value at [p], fF. *)
+val unit_value : Tech.Process.t -> t -> Geom.Point.t -> float
+
+(** [capacitor_value tech t positions] sums {!unit_value} (Eq. 3). *)
+val capacitor_value : Tech.Process.t -> t -> Geom.Point.t array -> float
+
+(** [systematic_shift tech t positions] is [C* - n C_u] (Eq. 12). *)
+val systematic_shift : Tech.Process.t -> t -> Geom.Point.t array -> float

@@ -1,0 +1,58 @@
+type t = {
+  row : int;
+  col : int;
+}
+
+let make ~row ~col = { row; col }
+let equal a b = a.row = b.row && a.col = b.col
+
+let compare a b =
+  match Int.compare a.row b.row with
+  | 0 -> Int.compare a.col b.col
+  | c -> c
+
+let mirror ~rows ~cols c = { row = rows - 1 - c.row; col = cols - 1 - c.col }
+
+let centered ~rows ~cols c =
+  ((2 * c.row) - (rows - 1), (2 * c.col) - (cols - 1))
+
+let ring ~rows ~cols c =
+  let u, v = centered ~rows ~cols c in
+  Int.max (abs u) (abs v)
+
+let adjacent a b = abs (a.row - b.row) + abs (a.col - b.col) = 1
+
+let in_bounds ~rows ~cols c =
+  c.row >= 0 && c.row < rows && c.col >= 0 && c.col < cols
+
+let neighbors ~rows ~cols c =
+  let candidates =
+    [ { c with row = c.row - 1 };
+      { c with row = c.row + 1 };
+      { c with col = c.col - 1 };
+      { c with col = c.col + 1 } ]
+  in
+  List.filter (in_bounds ~rows ~cols) candidates
+
+(* Sorting key: ring first, then angle from the positive-u axis walking
+   counter-clockwise.  atan2 is stable enough here because (u, v) are exact
+   small integers. *)
+let spiral_key ~rows ~cols c =
+  let u, v = centered ~rows ~cols c in
+  let angle = Float.atan2 (float_of_int v) (float_of_int u) in
+  let angle = if angle < 0. then angle +. (2. *. Float.pi) else angle in
+  (ring ~rows ~cols c, angle)
+
+let spiral_order ~rows ~cols =
+  let cells = ref [] in
+  for row = rows - 1 downto 0 do
+    for col = cols - 1 downto 0 do
+      cells := { row; col } :: !cells
+    done
+  done;
+  let key = spiral_key ~rows ~cols in
+  List.stable_sort
+    (fun a b -> Stdlib.compare (key a) (key b))
+    !cells
+
+let pp ppf c = Format.fprintf ppf "(%d, %d)" c.row c.col

@@ -1,0 +1,75 @@
+let rms_distance_from points center =
+  match points with
+  | [] -> 0.
+  | _ ->
+    let n = float_of_int (List.length points) in
+    let sum2 =
+      List.fold_left
+        (fun acc p ->
+           let d = Geom.Point.distance p center in
+           acc +. (d *. d))
+        0. points
+    in
+    sqrt (sum2 /. n)
+
+let array_rms tech (t : Placement.t) =
+  let all = ref [] in
+  for row = 0 to t.Placement.rows - 1 do
+    for col = 0 to t.Placement.cols - 1 do
+      all := Placement.position tech t (Cell.make ~row ~col) :: !all
+    done
+  done;
+  rms_distance_from !all Geom.Point.origin
+
+let spread tech t k =
+  let cells = Placement.cells_of t k in
+  match cells with
+  | [] -> 0.
+  | [ _ ] -> 0.
+  | _ ->
+    let points = List.map (Placement.position tech t) cells in
+    let centroid = Geom.Point.centroid points in
+    let denom = array_rms tech t in
+    if denom <= 0. then 0. else rms_distance_from points centroid /. denom
+
+let overall tech t =
+  let total = ref 0. and weight = ref 0 in
+  for k = 0 to t.Placement.bits do
+    let count = t.Placement.counts.(k) in
+    total := !total +. (float_of_int count *. spread tech t k);
+    weight := !weight + count
+  done;
+  if !weight = 0 then 0. else !total /. float_of_int !weight
+
+(* Count connected components of cap k's cells under 4-adjacency with an
+   iterative BFS over the cell set. *)
+let adjacency_runs (t : Placement.t) k =
+  let cells = Placement.cells_of t k in
+  let module S = Set.Make (struct
+      type t = Cell.t
+      let compare = Cell.compare
+    end)
+  in
+  let remaining = ref (S.of_list cells) in
+  let components = ref 0 in
+  while not (S.is_empty !remaining) do
+    incr components;
+    let seed = S.min_elt !remaining in
+    let frontier = Queue.create () in
+    Queue.add seed frontier;
+    remaining := S.remove seed !remaining;
+    while not (Queue.is_empty frontier) do
+      let c = Queue.pop frontier in
+      let next =
+        List.filter
+          (fun n -> S.mem n !remaining)
+          (Cell.neighbors ~rows:t.Placement.rows ~cols:t.Placement.cols c)
+      in
+      List.iter
+        (fun n ->
+           remaining := S.remove n !remaining;
+           Queue.add n frontier)
+        next
+    done
+  done;
+  !components

@@ -1,0 +1,22 @@
+(** Dispersion metrics (Sec. IV-A2).
+
+    Dispersion measures how widely a capacitor's unit cells are spread
+    across the array; higher dispersion averages out spatially-correlated
+    random variation (lower INL/DNL) at the cost of routing parasitics.
+    Chessboard maximises it, spiral trades some of it for via count. *)
+
+(** [spread tech placement k] is the RMS distance (um) of capacitor [k]'s
+    cells from their own centroid, normalised by the RMS distance of {e all}
+    array cells from the array centre.  1.0 means the capacitor is spread
+    like the whole array; small values mean clustering. *)
+val spread : Tech.Process.t -> Placement.t -> int -> float
+
+(** [overall tech placement] is the unit-cell-count-weighted mean of
+    {!spread} over all capacitors. *)
+val overall : Tech.Process.t -> Placement.t -> float
+
+(** [adjacency_runs placement k] is the number of connected groups that
+    capacitor [k]'s cells form under 4-adjacency.  1 = fully clustered;
+    equal to the cell count = fully dispersed (chessboard).  This is also
+    the number of trunk connections the router will need (Sec. IV-B2). *)
+val adjacency_runs : Placement.t -> int -> int

@@ -1,0 +1,112 @@
+let dummy = -1
+
+type t = {
+  bits : int;
+  rows : int;
+  cols : int;
+  unit_multiplier : int;
+  counts : int array;
+  assign : int array array;
+  style_name : string;
+}
+
+let num_caps t = t.bits + 1
+
+let check t =
+  if t.bits < 1 then Error "bits must be >= 1"
+  else if t.rows < 1 || t.cols < 1 then Error "empty array"
+  else if t.unit_multiplier < 1 then Error "unit_multiplier must be >= 1"
+  else if Array.length t.counts <> t.bits + 1 then Error "counts length <> bits+1"
+  else if Array.length t.assign <> t.rows then Error "assign row count mismatch"
+  else if Array.exists (fun r -> Array.length r <> t.cols) t.assign then
+    Error "assign col count mismatch"
+  else begin
+    let seen = Array.make (t.bits + 1) 0 in
+    let bad = ref None in
+    Array.iter
+      (fun row ->
+         Array.iter
+           (fun id ->
+              if id = dummy then ()
+              else if id < 0 || id > t.bits then bad := Some id
+              else seen.(id) <- seen.(id) + 1)
+           row)
+      t.assign;
+    match !bad with
+    | Some id -> Error (Printf.sprintf "invalid capacitor id %d" id)
+    | None ->
+      let mismatch = ref None in
+      Array.iteri
+        (fun k expected ->
+           if seen.(k) <> expected && !mismatch = None then
+             mismatch := Some (k, expected, seen.(k)))
+        t.counts;
+      (match !mismatch with
+       | Some (k, expected, got) ->
+         Error
+           (Printf.sprintf "capacitor %d has %d cells, expected %d" k got expected)
+       | None -> Ok ())
+  end
+
+let validate = check
+
+let create ~bits ~rows ~cols ~unit_multiplier ~counts ~assign ~style_name =
+  let t = { bits; rows; cols; unit_multiplier; counts; assign; style_name } in
+  match check t with
+  | Ok () -> t
+  | Error msg -> invalid_arg ("Placement.create: " ^ msg)
+
+let check_bounds t (c : Cell.t) =
+  if not (Cell.in_bounds ~rows:t.rows ~cols:t.cols c) then
+    invalid_arg "Placement: cell out of bounds"
+
+let cap_at t (c : Cell.t) =
+  check_bounds t c;
+  let id = t.assign.(c.Cell.row).(c.Cell.col) in
+  if id = dummy then None else Some id
+
+let cells_matching t keep =
+  let out = ref [] in
+  for row = t.rows - 1 downto 0 do
+    for col = t.cols - 1 downto 0 do
+      if keep t.assign.(row).(col) then out := Cell.make ~row ~col :: !out
+    done
+  done;
+  !out
+
+let cells_of t k =
+  if k < 0 || k > t.bits then invalid_arg "Placement.cells_of: bad capacitor id";
+  cells_matching t (fun id -> id = k)
+
+let dummy_cells t = cells_matching t (fun id -> id = dummy)
+
+let position tech t (c : Cell.t) =
+  check_bounds t c;
+  let u, v = Cell.centered ~rows:t.rows ~cols:t.cols c in
+  (* doubled coordinates: one unit of u/v is half a pitch *)
+  Geom.Point.make
+    ~x:(float_of_int v *. Tech.Process.cell_pitch_x tech /. 2.)
+    ~y:(float_of_int u *. Tech.Process.cell_pitch_y tech /. 2.)
+
+let positions_by_cap tech t =
+  Array.init (num_caps t)
+    (fun k -> Array.of_list (List.map (position tech t) (cells_of t k)))
+
+let centroid_error tech t k =
+  match cells_of t k with
+  | [] -> invalid_arg "Placement.centroid_error: capacitor has no cells"
+  | cells ->
+    let centroid = Geom.Point.centroid (List.map (position tech t) cells) in
+    Geom.Point.distance centroid Geom.Point.origin
+
+let max_centroid_error tech t =
+  let worst = ref 0. in
+  for k = 0 to t.bits do
+    if t.counts.(k) >= 2 then
+      worst := Float.max !worst (centroid_error tech t k)
+  done;
+  !worst
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d-bit, %dx%d, x%d units" t.style_name t.bits t.rows
+    t.cols t.unit_multiplier

@@ -1,0 +1,35 @@
+let glyph id =
+  if id = Placement.dummy then '.'
+  else if id < 0 then '?'
+  else if id < 10 then Char.chr (Char.code '0' + id)
+  else if id < 36 then Char.chr (Char.code 'A' + id - 10)
+  else '#'
+
+let draw (t : Placement.t) cell_char =
+  let buf = Buffer.create ((t.Placement.rows + 1) * (2 * t.Placement.cols)) in
+  for row = t.Placement.rows - 1 downto 0 do
+    for col = 0 to t.Placement.cols - 1 do
+      if col > 0 then Buffer.add_char buf ' ';
+      Buffer.add_char buf (cell_char (Cell.make ~row ~col))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let ascii t =
+  draw t (fun (c : Cell.t) -> glyph t.Placement.assign.(c.Cell.row).(c.Cell.col))
+
+let ascii_highlight t ~cap =
+  draw t
+    (fun (c : Cell.t) ->
+       let id = t.Placement.assign.(c.Cell.row).(c.Cell.col) in
+       if id = cap then glyph id else '-')
+
+let legend (t : Placement.t) =
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun k n -> Printf.sprintf "%c:%d" (glyph k) n)
+         t.Placement.counts)
+  in
+  String.concat "  " parts

@@ -1,0 +1,18 @@
+(** ASCII rendering of placements and simple overlays — the repo's
+    counterpart of the paper's Figs. 2, 4 and 5. *)
+
+(** [glyph id] is the single character used for capacitor [id]:
+    ['0'..'9'], then ['A'..], and ['.'] for dummies. *)
+val glyph : int -> char
+
+(** [ascii placement] draws the array, row 0 (driver side) at the bottom,
+    one glyph per cell, columns separated by a space. *)
+val ascii : Placement.t -> string
+
+(** [ascii_highlight placement ~cap] draws capacitor [cap]'s cells with
+    their glyph and every other cell as ['-'] — useful to show one
+    capacitor's connected groups. *)
+val ascii_highlight : Placement.t -> cap:int -> string
+
+(** [legend placement] is a one-line key "0:n0 1:n1 ..." of cell counts. *)
+val legend : Placement.t -> string

@@ -1,0 +1,105 @@
+let glyph_value c =
+  if c >= '0' && c <= '9' then Some (Char.code c - Char.code '0')
+  else if c >= 'A' && c <= 'Z' then Some (Char.code c - Char.code 'A' + 10)
+  else if c = '.' then Some Placement.dummy
+  else None
+
+let to_string (p : Placement.t) =
+  if Placement.num_caps p > 36 then
+    invalid_arg "Serial.to_string: more than 36 capacitors (glyph alphabet)";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "ccdac-placement v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "bits %d rows %d cols %d multiplier %d style %s\n"
+       p.Placement.bits p.Placement.rows p.Placement.cols
+       p.Placement.unit_multiplier p.Placement.style_name);
+  Buffer.add_string buf "counts";
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf " %d" n))
+    p.Placement.counts;
+  Buffer.add_char buf '\n';
+  (* top row first, matching Render.ascii *)
+  for row = p.Placement.rows - 1 downto 0 do
+    for col = 0 to p.Placement.cols - 1 do
+      if col > 0 then Buffer.add_char buf ' ';
+      Buffer.add_char buf (Render.glyph p.Placement.assign.(row).(col))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let tokens line =
+  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim line))
+
+let of_string text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | magic :: header :: counts_line :: grid when String.trim magic = "ccdac-placement v1"
+    -> begin
+      match tokens header with
+      | [ "bits"; bits; "rows"; rows; "cols"; cols; "multiplier"; m;
+          "style"; style ] -> begin
+          try
+            let bits = int_of_string bits in
+            let rows = int_of_string rows in
+            let cols = int_of_string cols in
+            let unit_multiplier = int_of_string m in
+            let counts =
+              match tokens counts_line with
+              | "counts" :: rest -> Array.of_list (List.map int_of_string rest)
+              | _ -> failwith "missing counts line"
+            in
+            if List.length grid <> rows then
+              failwith
+                (Printf.sprintf "expected %d grid rows, found %d" rows
+                   (List.length grid));
+            let assign = Array.make_matrix rows cols Placement.dummy in
+            List.iteri
+              (fun i line ->
+                 let row = rows - 1 - i in
+                 let cells = tokens line in
+                 if List.length cells <> cols then
+                   failwith (Printf.sprintf "row %d has wrong width" row);
+                 List.iteri
+                   (fun col token ->
+                      match token with
+                      | "" -> failwith "empty token"
+                      | t when String.length t = 1 -> begin
+                          match glyph_value t.[0] with
+                          | Some v -> assign.(row).(col) <- v
+                          | None -> failwith (Printf.sprintf "bad token %S" t)
+                        end
+                      | t -> failwith (Printf.sprintf "bad token %S" t))
+                   cells)
+              grid;
+            Ok
+              (Placement.create ~bits ~rows ~cols ~unit_multiplier ~counts
+                 ~assign ~style_name:style)
+          with
+          | Failure msg -> Error msg
+          | Invalid_argument msg -> Error msg
+        end
+      | _ -> Error "malformed header line"
+    end
+  | _ :: _ -> Error "not a ccdac-placement v1 file"
+  | [] -> Error "empty input"
+
+let save p ~path =
+  let oc = open_out path in
+  (try output_string oc (to_string p)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let load ~path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

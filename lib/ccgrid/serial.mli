@@ -1,0 +1,30 @@
+(** Text serialisation of placements.
+
+    A stable, human-diffable format so placements can be saved from one
+    tool invocation and routed/analysed in another (or edited by hand and
+    re-verified):
+
+    {v
+    ccdac-placement v1
+    bits 6 rows 8 cols 8 multiplier 1 style spiral
+    counts 1 1 2 4 8 16 32
+    6 6 6 6 6 6 6 6
+    ...                  (one row per line, top row first; '.' = dummy)
+    v}
+
+    Cell tokens are the {!Render.glyph} alphabet: 0-9 then A-Z. *)
+
+(** [to_string placement].  Raises [Invalid_argument] beyond 36
+    capacitors (the glyph alphabet). *)
+val to_string : Placement.t -> string
+
+(** [of_string text] parses and validates; returns [Error msg] on any
+    syntax or consistency problem (wrong counts, bad tokens, size
+    mismatch). *)
+val of_string : string -> (Placement.t, string) result
+
+(** [save placement ~path] / [load ~path] file wrappers.  [load] returns
+    [Error] for unreadable files too. *)
+val save : Placement.t -> path:string -> unit
+
+val load : path:string -> (Placement.t, string) result

@@ -1,0 +1,16 @@
+type t = {
+  rows : int;
+  cols : int;
+  dummies : int;
+}
+
+let compute ~total_units =
+  if total_units < 1 then invalid_arg "Sizing.compute: total_units must be >= 1";
+  let rows =
+    int_of_float (Float.ceil (sqrt (float_of_int total_units)))
+  in
+  let cols = (total_units + rows - 1) / rows in
+  { rows; cols; dummies = (rows * cols) - total_units }
+
+let pp ppf t =
+  Format.fprintf ppf "%dx%d (+%d dummies)" t.rows t.cols t.dummies

@@ -1,0 +1,18 @@
+(** Array size calculation (Sec. IV-A1, Eq. 17).
+
+    For [T] unit cells the array is [r x s] with [r = ceil(sqrt T)] and
+    [s = ceil(T / r)], as close to square as possible; [D_C = r s - T]
+    dummy cells complete the grid.  For even N, [r = s = 2^(N/2)] and no
+    dummies are needed. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  dummies : int;
+}
+
+(** [compute ~total_units].  Raises [Invalid_argument] when
+    [total_units < 1]. *)
+val compute : total_units:int -> t
+
+val pp : Format.formatter -> t -> unit

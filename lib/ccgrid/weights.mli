@@ -1,0 +1,25 @@
+(** Binary-weighted capacitor ratios of an N-bit charge-scaling DAC.
+
+    The array holds N+1 capacitors [C_0 .. C_N] with unit-cell counts
+    [n_0 = 1] and [n_k = 2^(k-1)] for [k >= 1] (Sec. II-A), so
+    [sum n_k = 2^N].  [C_0] is the always-grounded termination capacitor;
+    [C_k] (k >= 1) is switched by bit [D_k]. *)
+
+(** Maximum supported DAC resolution.  Counts are exact OCaml ints well
+    beyond this; the bound keeps array sizes sane. *)
+val max_bits : int
+
+(** [unit_counts ~bits] is the array [n_0 .. n_N] of unit-cell counts,
+    length [bits + 1].  Raises [Invalid_argument] unless
+    [1 <= bits <= max_bits]. *)
+val unit_counts : bits:int -> int array
+
+(** [total_units ~bits] is [2^bits]. *)
+val total_units : bits:int -> int
+
+(** [scale counts ~by] multiplies every count — used by the chessboard
+    placement of [7] which doubles the unit-capacitor count for odd N. *)
+val scale : int array -> by:int -> int array
+
+(** [check_bits bits] raises [Invalid_argument] when out of range. *)
+val check_bits : int -> unit

@@ -1,0 +1,28 @@
+(** Block chessboard (BC) placement (Sec. IV-A, Figs. 2c, 2d, 4) — the
+    paper's tunable compromise between spiral and chessboard.
+
+    The inner core holds the LSB capacitors C_0..C_{core_bits} (exactly
+    [2^core_bits] cells) as a conventional chessboard: good dispersion, and
+    although it is bend/via heavy, its RC products are small and never set
+    the worst-case time constant.  The outer corridor holds the MSB
+    capacitors C_{core_bits+1}..C_N (and any dummies) in blocks of
+    [granularity] mirrored cell pairs, interleaved in a
+    chessboard-of-blocks along the corridor: fewer vias on exactly the
+    capacitors whose RC matters, at a modest dispersion cost. *)
+
+open Ccgrid
+
+(** [place ~bits ?core_bits ?granularity ()].
+    [core_bits] defaults to [bits - 2] (clamped to at least 1) — for a
+    6-bit DAC this is the 4x4 C_0..C_4 core with a 2-cell corridor shown
+    in Fig. 2.  [granularity] (block size in cells per side, >= 1)
+    defaults to 2.  Raises [Invalid_argument] when [core_bits] is not in
+    [1, bits - 1] or [granularity < 1]. *)
+val place : bits:int -> ?core_bits:int -> ?granularity:int -> unit -> Placement.t
+
+(** Default core size, [bits - 2] clamped to at least 1. *)
+val default_core_bits : bits:int -> int
+
+(** Granularities swept when looking for the "best BC" of the paper's
+    tables: 1, 2, 4, 8 capped by the MSB block count. *)
+val granularities : bits:int -> int list

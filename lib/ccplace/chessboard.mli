@@ -1,0 +1,22 @@
+(** Chessboard placement of Burcea et al. [7] (Sec. IV-A, Fig. 2b) —
+    the dispersion-optimised prior method used as a comparison point.
+
+    Capacitors are assigned from the MSB down by hierarchical parity
+    interleaving: C_N takes every cell of one chessboard colour, C_{N-1}
+    takes alternate cells of the remaining colour, and so on — each
+    capacitor's cells are maximally interspersed, so no two cells of the
+    same capacitor are ever 4-adjacent (for capacitors above the last
+    levels).  This gives the best dispersion and the worst via counts.
+
+    For odd N, [7] doubles the number of unit capacitors so the array stays
+    a square power of two; the doubled placement has [unit_multiplier = 2]
+    and twice the area — exactly the behaviour noted under Table I. *)
+
+open Ccgrid
+
+val place : bits:int -> Placement.t
+
+(** [rank ~rows ~cols cell] is the hierarchical-interleave rank in [0, 1):
+    cells with rank < 1/2 form one chessboard colour, the next quarter an
+    alternating half of the other colour, etc.  Exposed for tests. *)
+val rank : rows:int -> cols:int -> Cell.t -> float

@@ -1,0 +1,162 @@
+open Ccgrid
+
+let validate_counts counts =
+  if Array.length counts = 0 then invalid_arg "General: empty ratio list";
+  Array.iteri
+    (fun k n ->
+       if n < 1 then
+         invalid_arg
+           (Printf.sprintf "General: capacitor %d has count %d (< 1)" k n))
+    counts
+
+type item =
+  | Pair of int               (* two cells of one capacitor, mirrored *)
+  | Split of int * int        (* odd-count partners: cell / mirror cell *)
+  | Dummy_pair
+
+(* The shared skeleton: decide centre handling, build the item multiset,
+   and let [assign] place items onto a cell walk. *)
+let build ~counts ~style_name ~walk_of =
+  validate_counts counts;
+  let bits = Array.length counts - 1 in
+  let total = Array.fold_left ( + ) 0 counts in
+  (* odd-count capacitors pair among themselves; a leftover single (odd
+     number of odd-count capacitors) takes the centre cell, which forces
+     an odd-by-odd grid *)
+  let odd_caps =
+    List.filter (fun k -> counts.(k) mod 2 = 1)
+      (List.init (bits + 1) (fun k -> k))
+  in
+  let needs_center = List.length odd_caps mod 2 = 1 in
+  let { Sizing.rows; cols; dummies } =
+    let base = Sizing.compute ~total_units:total in
+    if not needs_center then base
+    else begin
+      let odd n = if n mod 2 = 0 then n + 1 else n in
+      let rows = odd base.Sizing.rows in
+      let cols = odd ((total + rows - 1) / rows) in
+      { Sizing.rows; cols; dummies = (rows * cols) - total }
+    end
+  in
+  let b = Builder.make ~bits ~rows ~cols ~unit_multiplier:1 ~counts in
+  let rec pair_up = function
+    | a :: b :: rest ->
+      let splits, leftover = pair_up rest in
+      (Split (a, b) :: splits, leftover)
+    | [ a ] -> ([], Some a)
+    | [] -> ([], None)
+  in
+  let splits, leftover = pair_up odd_caps in
+  (match leftover with
+   | Some k -> Builder.assign_center_single b k
+   | None -> if dummies mod 2 = 1 then Builder.reserve_center_dummy b);
+  let items =
+    List.concat
+      [ List.concat_map
+          (fun k ->
+             List.init (counts.(k) / 2) (fun _ -> (Pair k, ())))
+          (List.init (bits + 1) (fun k -> k))
+        |> List.map fst;
+        splits;
+        (let even_dummies = dummies - (dummies mod 2) in
+         List.init (even_dummies / 2) (fun _ -> Dummy_pair)) ]
+  in
+  let sequence = walk_of ~bits ~counts items in
+  (b, rows, cols, sequence, style_name)
+
+let assign_item b item c =
+  match item with
+  | Pair k -> Builder.assign_pair b c k
+  | Split (a, m) -> Builder.assign_split_pair b c ~at:a ~at_mirror:m
+  | Dummy_pair -> Builder.assign_dummy_pair b c
+
+(* proportional interleave of the item multiset: weight by capacitor *)
+let interleave_items ~bits ~counts items =
+  let tagged =
+    (* group items per capacitor (splits and dummies get their own tags) *)
+    let key = function
+      | Pair k -> `Cap k
+      | Split (a, b) -> `Split (a, b)
+      | Dummy_pair -> `Dummy
+    in
+    let table = Hashtbl.create 16 in
+    List.iter
+      (fun item ->
+         let k = key item in
+         let prev = Option.value ~default:[] (Hashtbl.find_opt table k) in
+         Hashtbl.replace table k (item :: prev))
+      items;
+    Hashtbl.fold (fun _ group acc -> group :: acc) table []
+  in
+  ignore bits;
+  ignore counts;
+  (* order groups deterministically: largest first, then by first item *)
+  let sorted =
+    List.sort
+      (fun a b ->
+         match Int.compare (List.length b) (List.length a) with
+         | 0 -> Stdlib.compare a b
+         | c -> c)
+      tagged
+  in
+  let weighted = List.map (fun group -> (group, List.length group)) sorted in
+  (* largest-remainder schedule over the groups, emitting their items *)
+  let arr = Array.of_list weighted in
+  let taken = Array.make (Array.length arr) 0 in
+  let remaining = Array.map (fun (group, _) -> ref group) arr in
+  let rec loop acc =
+    match Interleave.next (Array.map (fun (g, w) -> (g, w)) arr) taken with
+    | None -> List.rev acc
+    | Some i ->
+      taken.(i) <- taken.(i) + 1;
+      (match !(remaining.(i)) with
+       | item :: rest ->
+         remaining.(i) := rest;
+         loop (item :: acc)
+       | [] -> loop acc)
+  in
+  loop []
+
+(* clustered: items in capacitor-index order (splits first, nearest the
+   centre, like the paper's C_0/C_1 treatment) *)
+let clustered_items ~bits ~counts items =
+  ignore bits;
+  ignore counts;
+  let rank = function
+    | Split (a, _) -> (0, a)
+    | Pair k -> (1, k)
+    | Dummy_pair -> (2, max_int)
+  in
+  List.stable_sort (fun a b -> Stdlib.compare (rank a) (rank b)) items
+
+let place ~counts ~style_name ~walk_of ~order_of =
+  let b, rows, cols, sequence, style_name =
+    build ~counts ~style_name ~walk_of
+  in
+  let order = order_of ~rows ~cols in
+  let remaining = ref sequence in
+  List.iter
+    (fun c ->
+       if Builder.is_free b c then begin
+         match !remaining with
+         | item :: rest ->
+           remaining := rest;
+           assign_item b item c
+         | [] -> ()
+       end)
+    order;
+  Builder.finish b ~style_name
+
+let boustrophedon ~rows ~cols =
+  List.concat
+    (List.init rows (fun row ->
+         let cells = List.init cols (fun col -> Cell.make ~row ~col) in
+         if row mod 2 = 0 then cells else List.rev cells))
+
+let interleaved ~counts =
+  place ~counts ~style_name:"general-interleaved" ~walk_of:interleave_items
+    ~order_of:boustrophedon
+
+let clustered ~counts =
+  place ~counts ~style_name:"general-clustered" ~walk_of:clustered_items
+    ~order_of:(fun ~rows ~cols -> Cell.spiral_order ~rows ~cols)

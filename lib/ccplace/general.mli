@@ -1,0 +1,33 @@
+(** Common-centroid placement for {e arbitrary} capacitor ratios.
+
+    The paper targets binary-weighted arrays, but its constructive
+    machinery generalises to any ratio list (the problem of Sayed &
+    Dessouky, DATE'02 [4]) — segmented DACs mix a thermometer MSB bank
+    (many equal capacitors) with binary LSBs, and SAR variants use
+    redundant or scaled radices.  The router, extractor and Elmore
+    analysis are already ratio-agnostic; this module supplies the
+    placements.
+
+    Mirror-pair discipline with arbitrary counts: capacitors with an odd
+    cell count cannot be mirrored onto themselves, so odd-count capacitors
+    are paired with each other (one takes a cell, its partner the mirror —
+    the C_0/C_1 trick of Sec. IV-A generalised), and a single leftover odd
+    cell goes to the central self-mirror cell when the grid has one.
+
+    Raises [Invalid_argument] when the leftover odd cell exists but the
+    grid has no centre cell (even dimension), or when any count is < 1. *)
+
+open Ccgrid
+
+(** [interleaved ~counts] deals proportionally-interleaved runs
+    boustrophedon from the driver side — a dispersion-oriented layout in
+    the spirit of the chessboard/row-wise styles. *)
+val interleaved : counts:int array -> Placement.t
+
+(** [clustered ~counts] walks a spiral from the centre, placing the
+    capacitors in index order — an interconnect-oriented layout in the
+    spirit of the spiral style (smallest capacitors nearest the centre). *)
+val clustered : counts:int array -> Placement.t
+
+(** [validate_counts counts] raises on empty or non-positive entries. *)
+val validate_counts : int array -> unit

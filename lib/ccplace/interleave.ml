@@ -1,0 +1,28 @@
+let next items taken =
+  let best = ref None in
+  Array.iteri
+    (fun i (_, weight) ->
+       if weight < 1 then invalid_arg "Interleave: weight must be >= 1";
+       if taken.(i) < weight then begin
+         let fraction_left =
+           float_of_int (weight - taken.(i)) /. float_of_int weight
+         in
+         match !best with
+         | Some (_, best_fraction) when best_fraction >= fraction_left -> ()
+         | Some _ | None -> best := Some (i, fraction_left)
+       end)
+    items;
+  Option.map fst !best
+
+let schedule items =
+  let arr = Array.of_list items in
+  let taken = Array.make (Array.length arr) 0 in
+  let rec loop acc =
+    match next arr taken with
+    | None -> List.rev acc
+    | Some i ->
+      taken.(i) <- taken.(i) + 1;
+      let tag, _ = arr.(i) in
+      loop (tag :: acc)
+  in
+  loop []

@@ -1,0 +1,17 @@
+(** Proportional interleaving by largest remainder.
+
+    Both the block-chessboard corridor and the row-wise baseline need a
+    sequence in which items appear proportionally to their weights and as
+    evenly interleaved as possible (e.g. weights 2:1 yield
+    [a; a; b; a; a; b; ...]). *)
+
+(** [schedule items] where each item is [(tag, weight)] with [weight >= 1]
+    produces a list of tags of total length [sum weights], each tag
+    appearing [weight] times, interleaved by largest remaining fraction.
+    Ties resolve to the earlier item, making the result deterministic. *)
+val schedule : ('a * int) list -> 'a list
+
+(** [next items taken] picks the index of the item to emit next given
+    [taken.(i)] already emitted; [None] when all are exhausted.  The
+    incremental form used when consumption happens cell-by-cell. *)
+val next : ('a * int) array -> int array -> int option

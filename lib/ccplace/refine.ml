@@ -1,0 +1,160 @@
+open Ccgrid
+
+type stats = {
+  swaps : int;
+  passes : int;
+  initial_energy : float;
+  final_energy : float;
+}
+
+(* Internal state: flat cell arrays with signs, the pairwise correlation
+   matrix, and the interaction field of every cell. *)
+type state = {
+  cells : Cell.t array;
+  sign : float array;            (* +1 MSB, -1 other capacitor, 0 dummy *)
+  cap_of : int array;            (* capacitor id or Placement.dummy *)
+  rho : float array array;
+  field : float array;           (* field.(a) = sum_{b<>a} sign.(b) rho.(a).(b) *)
+}
+
+let build_state tech (p : Placement.t) =
+  let cells = ref [] in
+  for row = p.Placement.rows - 1 downto 0 do
+    for col = p.Placement.cols - 1 downto 0 do
+      cells := Cell.make ~row ~col :: !cells
+    done
+  done;
+  let cells = Array.of_list !cells in
+  let n = Array.length cells in
+  let positions = Array.map (Placement.position tech p) cells in
+  let cap_of =
+    Array.map
+      (fun (c : Cell.t) -> p.Placement.assign.(c.Cell.row).(c.Cell.col))
+      cells
+  in
+  let msb = p.Placement.bits in
+  let sign =
+    Array.map
+      (fun id ->
+         if id = Placement.dummy then 0. else if id = msb then 1. else -1.)
+      cap_of
+  in
+  let rho =
+    Array.init n (fun a ->
+        Array.init n (fun b ->
+            if a = b then 0.
+            else Capmodel.Mismatch.correlation tech positions.(a) positions.(b)))
+  in
+  let field =
+    Array.init n (fun a ->
+        let acc = ref 0. in
+        for b = 0 to n - 1 do
+          acc := !acc +. (sign.(b) *. rho.(a).(b))
+        done;
+        !acc)
+  in
+  { cells; sign; cap_of; rho; field }
+
+let total_energy st =
+  let n = Array.length st.cells in
+  let acc = ref 0. in
+  for a = 0 to n - 1 do
+    acc := !acc +. (st.sign.(a) *. st.field.(a))
+  done;
+  !acc /. 2.
+
+(* Delta energy of flipping the signs of the (distinct) indices in [f]:
+   dE = -2 (sum_{a in f} s_a field_a  -  sum_{a,b in f, a<b} 2 s_a s_b rho_ab / ... ).
+   Within-f pair terms are counted in both fields but do not flip, so they
+   must be backed out. *)
+let delta_energy st f =
+  let cross = ref 0. in
+  List.iter (fun a -> cross := !cross +. (st.sign.(a) *. st.field.(a))) f;
+  let internal = ref 0. in
+  let rec pairs = function
+    | a :: rest ->
+      List.iter
+        (fun b -> internal := !internal +. (st.sign.(a) *. st.sign.(b) *. st.rho.(a).(b)))
+        rest;
+      pairs rest
+    | [] -> ()
+  in
+  pairs f;
+  -2. *. (!cross -. (2. *. !internal))
+
+let apply_flip st f =
+  (* update fields first, using the pre-flip signs *)
+  let n = Array.length st.cells in
+  List.iter
+    (fun a ->
+       let s_old = st.sign.(a) in
+       for b = 0 to n - 1 do
+         if b <> a then st.field.(b) <- st.field.(b) -. (2. *. s_old *. st.rho.(a).(b))
+       done)
+    f;
+  List.iter (fun a -> st.sign.(a) <- -.st.sign.(a)) f
+
+let energy tech p = total_energy (build_state tech p)
+
+let refine tech ?(max_passes = 3) ?(max_swaps = max_int) (p : Placement.t) =
+  if max_passes < 0 then invalid_arg "Refine.refine: max_passes must be >= 0";
+  if max_swaps < 0 then invalid_arg "Refine.refine: max_swaps must be >= 0";
+  let st = build_state tech p in
+  let n = Array.length st.cells in
+  let mirror_index = Hashtbl.create n in
+  Array.iteri (fun i c -> Hashtbl.replace mirror_index c i) st.cells;
+  let mirror i =
+    Hashtbl.find mirror_index
+      (Cell.mirror ~rows:p.Placement.rows ~cols:p.Placement.cols st.cells.(i))
+  in
+  let initial_energy = total_energy st in
+  let swaps = ref 0 and passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    for u = 0 to n - 1 do
+      if st.sign.(u) > 0. then
+        for v = 0 to n - 1 do
+          if st.sign.(v) < 0. then begin
+            let mu = mirror u and mv = mirror v in
+            let f = [ u; v; mu; mv ] in
+            let distinct =
+              u <> v && u <> mu && u <> mv && v <> mu && v <> mv && mu <> mv
+            in
+            if distinct && !swaps < max_swaps
+               && st.sign.(mu) > 0. && st.sign.(mv) < 0. then begin
+              let de = delta_energy st f in
+              if de < -1e-9 then begin
+                apply_flip st f;
+                (* exchange capacitor ownership pairwise *)
+                let swap a b =
+                  let t = st.cap_of.(a) in
+                  st.cap_of.(a) <- st.cap_of.(b);
+                  st.cap_of.(b) <- t
+                in
+                swap u v;
+                swap mu mv;
+                incr swaps;
+                improved := true
+              end
+            end
+          end
+        done
+    done
+  done;
+  let assign =
+    Array.make_matrix p.Placement.rows p.Placement.cols Placement.dummy
+  in
+  Array.iteri
+    (fun i (c : Cell.t) -> assign.(c.Cell.row).(c.Cell.col) <- st.cap_of.(i))
+    st.cells;
+  let refined =
+    Placement.create ~bits:p.Placement.bits ~rows:p.Placement.rows
+      ~cols:p.Placement.cols ~unit_multiplier:p.Placement.unit_multiplier
+      ~counts:p.Placement.counts ~assign
+      ~style_name:(p.Placement.style_name ^ "+refined")
+  in
+  ( refined,
+    { swaps = !swaps; passes = !passes; initial_energy;
+      final_energy = total_energy st } )

@@ -1,0 +1,13 @@
+(** Row-wise interleaved common-centroid placement — the constructive proxy
+    for the baseline [1] (Lin et al., TCAD'13).
+
+    [1] is a stochastic-search placement whose code is not available; per
+    DESIGN.md we substitute a deterministic placement with the qualitative
+    profile the paper reports for it: dispersion and routing cost between
+    spiral and chessboard.  Unit-cell pairs are dealt in a proportional
+    interleave (largest-remainder) and filled boustrophedon from the bottom
+    row, each assignment mirrored through the centroid. *)
+
+open Ccgrid
+
+val place : bits:int -> Placement.t

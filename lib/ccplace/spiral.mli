@@ -1,0 +1,17 @@
+(** Spiral placement (Sec. IV-A, Fig. 2a) — the paper's new
+    interconnect-optimised style.
+
+    C_0 and C_1 (one unit cell each, so individually impossible to centre)
+    are placed diagonally opposite each other at the innermost free pair of
+    cells.  Then C_2, C_3, ..., C_N are placed walking a spiral outwards
+    from the centre: every unit cell placed at doubled-centred coordinates
+    [(u, v)] is accompanied by a mirror cell at [(-u, -v)], preserving the
+    common-centroid property.  Consecutive spiral positions align a
+    capacitor's cells along rows and columns, which minimises routing bends
+    and therefore vias (Sec. IV-A2). *)
+
+open Ccgrid
+
+(** [place ~bits] builds the spiral placement for an N-bit DAC on the
+    Eq. 17 array (dummies fill the leftover cells for odd N). *)
+val place : bits:int -> Placement.t

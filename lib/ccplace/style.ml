@@ -1,0 +1,48 @@
+
+type t =
+  | Spiral
+  | Chessboard
+  | Block_chess of {
+      core_bits : int;
+      granularity : int;
+    }
+  | Rowwise
+
+let block_default ~bits =
+  Block_chess
+    { core_bits = Block_chess.default_core_bits ~bits; granularity = 2 }
+
+let block_family ~bits =
+  let core_bits = Block_chess.default_core_bits ~bits in
+  List.map
+    (fun granularity -> Block_chess { core_bits; granularity })
+    (Block_chess.granularities ~bits)
+
+let place ~bits = function
+  | Spiral -> Spiral.place ~bits
+  | Chessboard -> Chessboard.place ~bits
+  | Block_chess { core_bits; granularity } ->
+    Block_chess.place ~bits ~core_bits ~granularity ()
+  | Rowwise -> Rowwise.place ~bits
+
+let name = function
+  | Spiral -> "spiral"
+  | Chessboard -> "chessboard"
+  | Block_chess { core_bits; granularity } ->
+    Printf.sprintf "block-chess(core=%d,g=%d)" core_bits granularity
+  | Rowwise -> "rowwise"
+
+let label = function
+  | Spiral -> "S"
+  | Chessboard -> "[7]"
+  | Block_chess _ -> "BC"
+  | Rowwise -> "[1]"
+
+let equal a b =
+  match a, b with
+  | Spiral, Spiral | Chessboard, Chessboard | Rowwise, Rowwise -> true
+  | Block_chess x, Block_chess y ->
+    x.core_bits = y.core_bits && x.granularity = y.granularity
+  | (Spiral | Chessboard | Block_chess _ | Rowwise), _ -> false
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,40 @@
+(** Daisy-chain routing model — the serial net structure implied by the
+    paper's prior-work numbers.
+
+    The paper's Table I lists a total via resistance for the chessboard's
+    critical bit of ~one via {e per unit cell} with f3dB values that only a
+    serial charging path explains (R_total x C_total time constants).
+    Bulk-era capacitor routers chained same-net cells with a
+    layer-changing hop per cell; the paper's trunk/track router (our
+    {!Plan}/{!Layout}) removes exactly that structure.  This module models
+    the chained alternative so the ablation can recover the paper's
+    full-magnitude gaps (see EXPERIMENTS.md).
+
+    The chain for each capacitor starts at the cell nearest the driver
+    edge, greedily hops to the nearest unvisited cell (Manhattan), pays
+    one layer-change junction per hop plus one per bend, and drops to the
+    driver row from the start cell. *)
+
+open Ccgrid
+
+type bit_net = {
+  b_cap : int;
+  b_length : float;         (** total chain + drop wirelength, um *)
+  b_via_junctions : int;    (** logical layer-change junctions *)
+  b_elmore_fs : float;      (** worst-case Elmore delay *)
+}
+
+type t = {
+  per_bit : bit_net array;
+  critical_bit : int;
+  critical_elmore_fs : float;
+  total_vias : int;         (** physical cuts, [p^2] per junction *)
+  total_length : float;
+}
+
+(** [analyze tech ?p_of_cap placement] routes every capacitor as a chain
+    and evaluates the delays. *)
+val analyze : Tech.Process.t -> ?p_of_cap:(int -> int) -> Placement.t -> t
+
+(** [f3db_mhz t ~bits] from the critical chain (Eq. 16). *)
+val f3db_mhz : t -> bits:int -> float

@@ -1,0 +1,23 @@
+(** Post-route verification: structural and geometric invariants of a
+    routed layout.
+
+    This is the light-weight DRC/LVS-style net of checks a generated
+    layout must pass before anyone trusts its extracted metrics:
+    everything inside the outline, trunks inside their channels, distinct
+    tracks not colliding, every capacitor's net present, via bundles
+    consistent with the parallel-wire plan.  [run] returns all violations;
+    the empty list means clean. *)
+
+type violation = {
+  rule : string;    (** short rule id, e.g. "trunk-in-channel" *)
+  detail : string;  (** human-readable description *)
+}
+
+(** [run layout] executes every check. *)
+val run : Layout.t -> violation list
+
+(** [assert_clean layout] raises [Invalid_argument] listing the first few
+    violations when the layout is not clean. *)
+val assert_clean : Layout.t -> unit
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,162 @@
+open Ccgrid
+
+type t = {
+  cap : int;
+  id : int;
+  cells : Cell.t list;
+  tree_edges : (Cell.t * Cell.t) list;
+  col_lo : int;
+  col_hi : int;
+  row_lo : int;
+  row_hi : int;
+}
+
+module Cellset = Set.Make (struct
+    type t = Cell.t
+    let compare = Cell.compare
+  end)
+
+(* BFS from [seed] over the cells in [available]; returns the visited set
+   and the tree edges in visit order. *)
+let bfs ~rows ~cols available seed =
+  let visited = ref (Cellset.singleton seed) in
+  let edges = ref [] in
+  let q = Queue.create () in
+  Queue.add seed q;
+  while not (Queue.is_empty q) do
+    let c = Queue.pop q in
+    let next =
+      List.filter
+        (fun n -> Cellset.mem n available && not (Cellset.mem n !visited))
+        (Cell.neighbors ~rows ~cols c)
+    in
+    List.iter
+      (fun n ->
+         visited := Cellset.add n !visited;
+         edges := (c, n) :: !edges;
+         Queue.add n q)
+      next
+  done;
+  (!visited, List.rev !edges)
+
+type mode =
+  | Connected
+  | Straight_runs
+
+let make_group ~cap ~id cells tree_edges =
+  let col_lo, col_hi, row_lo, row_hi =
+    List.fold_left
+      (fun (cl, ch, rl, rh) (c : Cell.t) ->
+         ( Int.min cl c.Cell.col, Int.max ch c.Cell.col,
+           Int.min rl c.Cell.row, Int.max rh c.Cell.row ))
+      (max_int, min_int, max_int, min_int) cells
+  in
+  { cap; id; cells; tree_edges; col_lo; col_hi; row_lo; row_hi }
+
+(* Split a cell set into maximal straight runs along one orientation.
+   [major]/[minor] project a cell to (run key, position within run). *)
+let runs_along ~major ~minor cells =
+  let sorted =
+    List.sort
+      (fun a b -> Stdlib.compare (major a, minor a) (major b, minor b))
+      cells
+  in
+  let finish run acc = if run = [] then acc else List.rev run :: acc in
+  let rec walk run acc = function
+    | [] -> finish run acc
+    | c :: rest ->
+      (match run with
+       | prev :: _ when major prev = major c && minor c = minor prev + 1 ->
+         walk (c :: run) acc rest
+       | [] | _ :: _ -> walk [ c ] (finish run acc) rest)
+  in
+  List.rev (walk [] [] sorted)
+
+let split_runs cells =
+  let horizontal =
+    runs_along
+      ~major:(fun (c : Cell.t) -> c.Cell.row)
+      ~minor:(fun (c : Cell.t) -> c.Cell.col)
+      cells
+  in
+  let vertical =
+    runs_along
+      ~major:(fun (c : Cell.t) -> c.Cell.col)
+      ~minor:(fun (c : Cell.t) -> c.Cell.row)
+      cells
+  in
+  if List.length vertical <= List.length horizontal then vertical else horizontal
+
+(* Chain tree edges along a straight run of cells. *)
+let run_edges cells =
+  let rec pair = function
+    | a :: (b :: _ as rest) -> (a, b) :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair cells
+
+let of_placement ?(mode = Connected) (p : Placement.t) =
+  let rows = p.Placement.rows and cols = p.Placement.cols in
+  let next_id = ref 0 in
+  let groups = ref [] in
+  let emit cap cells tree_edges =
+    groups := make_group ~cap ~id:!next_id cells tree_edges :: !groups;
+    incr next_id
+  in
+  for cap = 0 to p.Placement.bits do
+    let remaining = ref (Cellset.of_list (Placement.cells_of p cap)) in
+    while not (Cellset.is_empty !remaining) do
+      let seed = Cellset.min_elt !remaining in
+      let members, tree_edges = bfs ~rows ~cols !remaining seed in
+      remaining := Cellset.diff !remaining members;
+      let cells = Cellset.elements members in
+      match mode with
+      | Connected -> emit cap cells tree_edges
+      | Straight_runs ->
+        List.iter (fun run -> emit cap run (run_edges run)) (split_runs cells)
+    done
+  done;
+  List.rev !groups
+
+let of_cap groups k = List.filter (fun g -> g.cap = k) groups
+let size g = List.length g.cells
+
+let bend_cells g =
+  let horizontal = Hashtbl.create 16 and vertical = Hashtbl.create 16 in
+  let record (a : Cell.t) (b : Cell.t) =
+    let table = if a.Cell.row = b.Cell.row then horizontal else vertical in
+    Hashtbl.replace table a ();
+    Hashtbl.replace table b ()
+  in
+  List.iter (fun (a, b) -> record a b) g.tree_edges;
+  List.filter
+    (fun c -> Hashtbl.mem horizontal c && Hashtbl.mem vertical c)
+    g.cells
+
+let col_span_overlap a b = a.col_lo <= b.col_hi && b.col_lo <= a.col_hi
+
+(* Tie-break key per Algorithm 1 line 16: distance, then closeness to the
+   array bottom, then row-major determinism. *)
+let pair_key (a : Cell.t) (b : Cell.t) =
+  let d = abs (a.Cell.row - b.Cell.row) + abs (a.Cell.col - b.Cell.col) in
+  (d, a.Cell.row + b.Cell.row, a.Cell.row, a.Cell.col, b.Cell.row, b.Cell.col)
+
+let closest_cells a b =
+  let best = ref None in
+  List.iter
+    (fun ca ->
+       List.iter
+         (fun cb ->
+            let key = pair_key ca cb in
+            match !best with
+            | Some (_, _, best_key) when best_key <= key -> ()
+            | Some _ | None -> best := Some (ca, cb, key))
+         b.cells)
+    a.cells;
+  match !best with
+  | Some (ca, cb, _) -> (ca, cb)
+  | None -> invalid_arg "Group.closest_cells: empty group"
+
+let pp ppf g =
+  Format.fprintf ppf "group %d of C_%d: %d cells, cols [%d,%d], rows [%d,%d]"
+    g.id g.cap (size g) g.col_lo g.col_hi g.row_lo g.row_hi

@@ -1,0 +1,64 @@
+let prim ~nodes ~edges =
+  if nodes <= 0 then invalid_arg "Mst.prim: no nodes";
+  Array.iter
+    (fun (a, b, w) ->
+       if a < 0 || a >= nodes || b < 0 || b >= nodes then
+         invalid_arg "Mst.prim: endpoint out of range";
+       if w < 0. then invalid_arg "Mst.prim: negative weight")
+    edges;
+  let adj = Array.make nodes [] in
+  Array.iteri
+    (fun i (a, b, w) ->
+       adj.(a) <- (b, w, i) :: adj.(a);
+       adj.(b) <- (a, w, i) :: adj.(b))
+    edges;
+  let in_tree = Array.make nodes false in
+  let best_w = Array.make nodes Float.infinity in
+  let best_edge = Array.make nodes (-1) in
+  let chosen = ref [] in
+  best_w.(0) <- 0.;
+  for _ = 1 to nodes do
+    (* extract the cheapest fringe node *)
+    let u = ref (-1) in
+    for v = 0 to nodes - 1 do
+      if (not in_tree.(v))
+         && (!u = -1 || best_w.(v) < best_w.(!u))
+      then u := v
+    done;
+    let u = !u in
+    if Float.is_finite best_w.(u) then begin
+      in_tree.(u) <- true;
+      if best_edge.(u) >= 0 then chosen := best_edge.(u) :: !chosen;
+      List.iter
+        (fun (v, w, i) ->
+           if (not in_tree.(v)) && w < best_w.(v) then begin
+             best_w.(v) <- w;
+             best_edge.(v) <- i
+           end)
+        adj.(u)
+    end
+  done;
+  if List.length !chosen <> nodes - 1 then
+    invalid_arg "Mst.prim: graph is disconnected";
+  List.rev !chosen
+
+let cost ~edges tree =
+  List.fold_left
+    (fun acc i ->
+       let _, _, w = edges.(i) in
+       acc +. w)
+    0. tree
+
+let grid_mst_cost ~rows ~cols ~dx ~dy =
+  if Array.length dx <> cols - 1 && cols > 1 then
+    invalid_arg "Mst.grid_mst_cost: dx length must be cols - 1";
+  let node r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if r + 1 < rows then edges := (node r c, node (r + 1) c, dy) :: !edges;
+      if c + 1 < cols then edges := (node r c, node r (c + 1), dx.(c)) :: !edges
+    done
+  done;
+  let edges = Array.of_list !edges in
+  cost ~edges (prim ~nodes:(rows * cols) ~edges)

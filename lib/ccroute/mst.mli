@@ -1,0 +1,24 @@
+(** Minimum spanning trees on small weighted graphs.
+
+    Top-plate routing (Sec. IV-B5) builds a graph over all unit capacitors
+    with edges to 4-neighbours weighted by wire spacing and connects them
+    with an MST to minimise the parasitic [C^TS].  The paper observes that
+    when vertical spacing is below the channel-widened horizontal spacing,
+    the MST degenerates to "column runs plus one cross connection" —
+    {!Layout} uses that closed form, and this module provides the generic
+    Prim construction used to {e prove} (in tests) that the closed form is
+    in fact minimal. *)
+
+(** [prim ~nodes ~edges] returns the MST edges as indices into [edges].
+    [edges] are [(a, b, weight)] with [0 <= a, b < nodes].
+    Raises [Invalid_argument] when the graph is disconnected or an
+    endpoint is out of range. *)
+val prim : nodes:int -> edges:(int * int * float) array -> int list
+
+(** [cost ~edges tree] sums the weights of the chosen edges. *)
+val cost : edges:(int * int * float) array -> int list -> float
+
+(** [grid_mst_cost ~rows ~cols ~dx ~dy] is the MST cost of a full
+    [rows x cols] grid whose horizontal edges weigh [dx.(c)] (between
+    columns [c] and [c+1]) and vertical edges weigh [dy]. *)
+val grid_mst_cost : rows:int -> cols:int -> dx:float array -> dy:float -> float

@@ -1,0 +1,159 @@
+open Ccgrid
+
+type route = {
+  group : Group.t;
+  channel : int;
+  track : int;
+  attach : Cell.t;
+}
+
+type t = {
+  routes : route list;
+  tracks_per_channel : int array;
+  track_caps : int array array;
+}
+
+(* The attach cell of a follower group [q] joining a shared channel: the
+   cell nearest the channel horizontally, lowest first (toward the
+   drivers). *)
+let attach_toward_channel (g : Group.t) ~channel =
+  let distance (c : Cell.t) =
+    (* channel [ch] separates columns ch-1 and ch *)
+    Int.min (abs (c.Cell.col - channel)) (abs (c.Cell.col - (channel - 1)))
+  in
+  let key (c : Cell.t) = (distance c, c.Cell.row, c.Cell.col) in
+  match g.Group.cells with
+  | [] -> invalid_arg "Plan: empty group"
+  | first :: rest ->
+    List.fold_left (fun best c -> if key c < key best then c else best) first rest
+
+(* Step 1: channel selection for the groups of one capacitor. *)
+let select_channels_for_cap groups_of_i =
+  let n = Array.length groups_of_i in
+  let visited = Array.make n false in
+  let chosen = ref [] in
+  (* emit (group, channel, attach) *)
+  let emit g channel attach = chosen := (g, channel, attach) :: !chosen in
+  for j = 0 to n - 1 do
+    if not visited.(j) then begin
+      let p = groups_of_i.(j) in
+      visited.(j) <- true;
+      let c_j = ref (-1) in
+      let u_p = ref None in
+      let left = ref [] and right = ref [] in
+      for k = 0 to n - 1 do
+        if (not visited.(k)) && k <> j then begin
+          let q = groups_of_i.(k) in
+          if Group.col_span_overlap p q then begin
+            let up, uq = Group.closest_cells p q in
+            if !c_j = -1 then begin
+              c_j := up.Cell.col;
+              u_p := Some up
+            end;
+            if uq.Cell.col = !c_j - 1 || uq.Cell.col = !c_j then
+              left := (k, q, uq) :: !left;
+            if uq.Cell.col = !c_j || uq.Cell.col = !c_j + 1 then
+              right := (k, q, uq) :: !right
+          end
+        end
+      done;
+      match !u_p with
+      | None ->
+        (* solo group: attach at the cell closest to the bottom, trunk in
+           the channel on its left *)
+        let attach =
+          match p.Group.cells with
+          | [] -> invalid_arg "Plan: empty group"
+          | first :: rest ->
+            List.fold_left
+              (fun best (c : Cell.t) ->
+                 if (c.Cell.row, c.Cell.col) < (best.Cell.row, best.Cell.col)
+                 then c else best)
+              first rest
+        in
+        emit p attach.Cell.col attach
+      | Some up ->
+        (* Algorithm 1 line 29: strictly more sharing on the left wins,
+           ties route right *)
+        let side_left = List.length !left > List.length !right in
+        let channel = if side_left then !c_j else !c_j + 1 in
+        let sharing = if side_left then !left else !right in
+        emit p channel up;
+        List.iter
+          (fun (k, q, _uq) ->
+             visited.(k) <- true;
+             emit q channel (attach_toward_channel q ~channel))
+          sharing
+    end
+  done;
+  List.rev !chosen
+
+let make (placement : Placement.t) groups =
+  let cols = placement.Placement.cols in
+  let per_cap_choices =
+    List.concat_map
+      (fun cap ->
+         let gs = Array.of_list (Group.of_cap groups cap) in
+         List.map
+           (fun (g, channel, attach) -> (cap, g, channel, attach))
+           (select_channels_for_cap gs))
+      (List.init (placement.Placement.bits + 1) (fun k -> k))
+  in
+  (* Step 2: one track per (channel, capacitor); a capacitor's groups in
+     the same channel share the track (they are one electrical net).
+     Lines 42-45 assign each connection the closest available track: a
+     capacitor attaching from the column right of the channel takes the
+     rightmost unused track, one attaching from the left takes the
+     leftmost — minimising its stub length. *)
+  let tracks_per_channel = Array.make (cols + 1) 0 in
+  let first_attach = Hashtbl.create 64 in
+  List.iter
+    (fun (cap, _g, channel, (attach : Cell.t)) ->
+       if not (Hashtbl.mem first_attach (channel, cap)) then begin
+         Hashtbl.add first_attach (channel, cap) attach.Cell.col;
+         tracks_per_channel.(channel) <- tracks_per_channel.(channel) + 1
+       end)
+    per_cap_choices;
+  let track_table = Hashtbl.create 64 in
+  let track_caps =
+    Array.mapi (fun ch n -> (ch, Array.make n (-1))) tracks_per_channel
+    |> Array.map snd
+  in
+  let low = Array.make (cols + 1) 0 in
+  let high = Array.map (fun n -> n - 1) tracks_per_channel in
+  List.iter
+    (fun (cap, _g, channel, (_ : Cell.t)) ->
+       if not (Hashtbl.mem track_table (channel, cap)) then begin
+         let attach_col = Hashtbl.find first_attach (channel, cap) in
+         (* channel ch sits left of column ch: an attach cell in column ch
+            reaches the channel from the right, so its closest track is
+            the rightmost *)
+         let from_right = attach_col >= channel in
+         let track =
+           if from_right then begin
+             let t = high.(channel) in
+             high.(channel) <- t - 1;
+             t
+           end
+           else begin
+             let t = low.(channel) in
+             low.(channel) <- t + 1;
+             t
+           end
+         in
+         Hashtbl.add track_table (channel, cap) track;
+         track_caps.(channel).(track) <- cap
+       end)
+    per_cap_choices;
+  let routes =
+    List.map
+      (fun (cap, group, channel, attach) ->
+         { group; channel; track = Hashtbl.find track_table (channel, cap); attach })
+      per_cap_choices
+  in
+  { routes; tracks_per_channel; track_caps }
+
+let routes_of_cap t k =
+  List.filter (fun r -> r.group.Group.cap = k) t.routes
+
+let total_tracks t = Array.fold_left ( + ) 0 t.tracks_per_channel

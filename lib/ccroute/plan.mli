@@ -1,0 +1,40 @@
+(** Bottom-plate routing plan: channel selection and track assignment —
+    Steps 1 and 2 of Algorithm 1.
+
+    Channels are the vertical routing corridors between array columns.
+    Channel [ch] (0 <= ch <= cols) lies immediately to the {e left} of
+    column [ch]; channel [cols] is the right edge.  A channel is adjacent
+    to columns [ch - 1] and [ch].
+
+    Channel selection maximises track sharing: capacitor groups of the
+    same capacitor whose column spans intersect are steered to one shared
+    channel, connecting through the closest cell pair, with ties broken
+    toward the bottom of the array (where the drivers sit).  Track
+    assignment then gives each capacitor one track per channel it uses. *)
+
+open Ccgrid
+
+type route = {
+  group : Group.t;
+  channel : int;       (** channel carrying this group's trunk connection *)
+  track : int;         (** track index within the channel, 0 = leftmost *)
+  attach : Cell.t;     (** cell connected to the trunk by a branch stub *)
+}
+
+type t = {
+  routes : route list;              (** one entry per group *)
+  tracks_per_channel : int array;   (** length [cols + 1] *)
+  track_caps : int array array;     (** per channel, the capacitor id on
+                                        each track, in track order *)
+}
+
+(** [make placement groups] runs Steps 1–2.  Every group is guaranteed a
+    route (Sec. IV-B3: "each capacitor group is guaranteed to complete
+    routing"). *)
+val make : Placement.t -> Group.t list -> t
+
+(** [routes_of_cap t k] filters routes of capacitor [k]. *)
+val routes_of_cap : t -> int -> route list
+
+(** [total_tracks t] over all channels. *)
+val total_tracks : t -> int

@@ -1,0 +1,16 @@
+(** SVG rendering of a routed layout — the repo's counterpart of the
+    paper's Fig. 5 plotted views.
+
+    Unit cells are drawn as labelled squares coloured per capacitor,
+    bottom-plate routing as layer-coloured strokes (trunks and bridges
+    thicker when bundled), vias as dots, and the top plate as a thin
+    overlay.  The output is self-contained SVG 1.1 with no external
+    dependencies. *)
+
+(** [render ?scale ?show_top layout] is the SVG document text.
+    [scale] is pixels per micrometre (default 24); [show_top] includes
+    the top-plate routing overlay (default true). *)
+val render : ?scale:float -> ?show_top:bool -> Layout.t -> string
+
+(** [write ?scale ?show_top layout ~path] renders into a file. *)
+val write : ?scale:float -> ?show_top:bool -> Layout.t -> path:string -> unit

@@ -1,0 +1,64 @@
+let metrics_header =
+  "bits,method,style,area_um2,max_inl_lsb,max_dnl_lsb,f3db_mhz,tau_fs,\
+   critical_bit,sum_cts_ff,sum_cwire_ff,sum_cbb_ff,sum_nv,sum_l_um,\
+   rv_critical_ohm,rtotal_critical_ohm,place_route_s"
+
+(* style names like block-chess(core=6,g=4) carry commas *)
+let sanitize name =
+  String.map (fun c -> if c = ',' then ';' else c) name
+
+let metrics_rows rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf metrics_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (bits, results) ->
+       List.iter
+         (fun (r : Flow.result) ->
+            let p = r.Flow.parasitics in
+            let c = p.Extract.Parasitics.per_bit.(r.Flow.critical_bit) in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "%d,%s,%s,%.2f,%.6f,%.6f,%.3f,%.1f,%d,%.4f,%.3f,%.3f,%d,%.1f,%.2f,%.2f,%.6f\n"
+                 bits
+                 (Ccplace.Style.label r.Flow.style)
+                 (sanitize (Ccplace.Style.name r.Flow.style))
+                 r.Flow.area r.Flow.max_inl r.Flow.max_dnl r.Flow.f3db_mhz
+                 r.Flow.tau_fs r.Flow.critical_bit
+                 p.Extract.Parasitics.total_top_cap
+                 p.Extract.Parasitics.total_wire_cap
+                 p.Extract.Parasitics.total_coupling_cap
+                 p.Extract.Parasitics.total_via_cuts
+                 p.Extract.Parasitics.total_wirelength
+                 c.Extract.Parasitics.bm_via_resistance
+                 (Extract.Parasitics.total_resistance c)
+                 r.Flow.elapsed_place_route_s))
+         results)
+    rows;
+  Buffer.contents buf
+
+let parallel_sweep_csv series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "bits,k,f3db_mhz,improvement\n";
+  List.iter
+    (fun (bits, points) ->
+       let base =
+         match points with
+         | (_, f) :: _ -> f
+         | [] -> 1.
+       in
+       List.iter
+         (fun (k, f) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d,%d,%.3f,%.4f\n" bits k f (f /. base)))
+         points)
+    series;
+  Buffer.contents buf
+
+let write ~path contents =
+  let oc = open_out path in
+  (try output_string oc contents
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,16 @@
+(** Machine-readable (CSV) exports of the reproduction results — for
+    plotting the tables/figures outside the repo. *)
+
+(** [metrics_header] is the column list of {!metrics_rows}. *)
+val metrics_header : string
+
+(** [metrics_rows rows] renders one CSV line per (bits, method) result
+    with every Table-I and Table-II quantity. *)
+val metrics_rows : (int * Flow.result list) list -> string
+
+(** [parallel_sweep_csv series] renders the Fig. 6a data:
+    [bits,k,f3db_mhz,improvement]. *)
+val parallel_sweep_csv : (int * (int * float) list) list -> string
+
+(** [write ~path contents] writes a CSV file. *)
+val write : path:string -> string -> unit

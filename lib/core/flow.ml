@@ -1,0 +1,99 @@
+let log_src = Logs.Src.create "ccdac.flow" ~doc:"CC layout flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  style : Ccplace.Style.t;
+  bits : int;
+  tech : Tech.Process.t;
+  placement : Ccgrid.Placement.t;
+  layout : Ccroute.Layout.t;
+  parasitics : Extract.Parasitics.t;
+  nonlinearity : Dacmodel.Nonlinearity.t;
+  max_inl : float;
+  max_dnl : float;
+  tau_fs : float;
+  f3db_mhz : float;
+  critical_bit : int;
+  area : float;
+  elapsed_place_route_s : float;
+}
+
+let default_parallel ~bits style =
+  match style with
+  | Ccplace.Style.Spiral | Ccplace.Style.Block_chess _ ->
+    Ccroute.Layout.msb_parallel ~bits ~p:2
+  | Ccplace.Style.Chessboard | Ccplace.Style.Rowwise -> fun _ -> 1
+
+let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ~bits style =
+  let parallel =
+    Option.value parallel ~default:(default_parallel ~bits style)
+  in
+  let t0 = Unix.gettimeofday () in
+  let placement = Ccplace.Style.place ~bits style in
+  let t_place = Unix.gettimeofday () in
+  let layout = Ccroute.Layout.route tech ~p_of_cap:parallel placement in
+  let t1 = Unix.gettimeofday () in
+  Log.debug (fun m ->
+      m "%s %d-bit: place %.3f ms, route %.3f ms (%d groups, %d tracks)"
+        (Ccplace.Style.name style) bits
+        (1e3 *. (t_place -. t0))
+        (1e3 *. (t1 -. t_place))
+        (List.length layout.Ccroute.Layout.groups)
+        (Ccroute.Plan.total_tracks layout.Ccroute.Layout.plan));
+  (layout, t1 -. t0)
+
+(* analysis shared by [run] and [run_placement] *)
+let analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout =
+  let placement = layout.Ccroute.Layout.placement in
+  let bits = placement.Ccgrid.Placement.bits in
+  let t0 = Unix.gettimeofday () in
+  let parasitics = Extract.Parasitics.extract layout in
+  let nonlinearity =
+    Dacmodel.Nonlinearity.analyze tech ?theta ?sign_mode
+      ~top_parasitic:parasitics.Extract.Parasitics.total_top_cap placement
+  in
+  let tau_fs = parasitics.Extract.Parasitics.critical_elmore_fs in
+  Log.debug (fun m ->
+      m "%s %d-bit: extraction + nonlinearity %.3f ms (critical C_%d, tau %.1f ps)"
+        (Ccplace.Style.name style) bits
+        (1e3 *. (Unix.gettimeofday () -. t0))
+        parasitics.Extract.Parasitics.critical_bit (tau_fs /. 1e3));
+  { style;
+    bits;
+    tech;
+    placement;
+    layout;
+    parasitics;
+    nonlinearity;
+    max_inl = nonlinearity.Dacmodel.Nonlinearity.max_abs_inl;
+    max_dnl = nonlinearity.Dacmodel.Nonlinearity.max_abs_dnl;
+    tau_fs;
+    f3db_mhz = Dacmodel.Speed.f3db_mhz ~bits ~tau_fs;
+    critical_bit = parasitics.Extract.Parasitics.critical_bit;
+    area = parasitics.Extract.Parasitics.area;
+    elapsed_place_route_s = elapsed }
+
+let run ?(tech = Tech.Process.finfet_12nm) ?parallel ?sign_mode ?theta ~bits
+    style =
+  let layout, elapsed = place_route ~tech ?parallel ~bits style in
+  analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout
+
+let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel ?sign_mode
+    ?theta ?(style = Ccplace.Style.Spiral) placement =
+  let bits = placement.Ccgrid.Placement.bits in
+  let expected =
+    Ccgrid.Weights.scale (Ccgrid.Weights.unit_counts ~bits)
+      ~by:placement.Ccgrid.Placement.unit_multiplier
+  in
+  if placement.Ccgrid.Placement.counts <> expected then
+    invalid_arg
+      "Flow.run_placement: placement is not binary-weighted (the INL/DNL \
+       and transfer models assume binary ratios)";
+  let parallel =
+    Option.value parallel ~default:(default_parallel ~bits style)
+  in
+  let t0 = Unix.gettimeofday () in
+  let layout = Ccroute.Layout.route tech ~p_of_cap:parallel placement in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout

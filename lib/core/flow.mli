@@ -1,0 +1,71 @@
+(** End-to-end constructive CC layout flow (Sec. IV): place, route,
+    extract, analyse — the library's primary entry point.
+
+    {[
+      let r = Ccdac.Flow.run ~bits:8 Ccplace.Style.Spiral in
+      Format.printf "f3dB = %.0f MHz, |INL| = %.3f LSB@."
+        r.Ccdac.Flow.f3db_mhz r.Ccdac.Flow.max_inl
+    ]} *)
+
+type result = {
+  style : Ccplace.Style.t;
+  bits : int;
+  tech : Tech.Process.t;
+  placement : Ccgrid.Placement.t;
+  layout : Ccroute.Layout.t;
+  parasitics : Extract.Parasitics.t;
+  nonlinearity : Dacmodel.Nonlinearity.t;
+  max_inl : float;           (** max |INL(i)|, LSB *)
+  max_dnl : float;           (** max |DNL(i)|, LSB *)
+  tau_fs : float;            (** worst-bit Elmore time constant *)
+  f3db_mhz : float;          (** Eq. 16 *)
+  critical_bit : int;
+  area : float;              (** um^2 *)
+  elapsed_place_route_s : float;  (** wall-clock of place+route (Table III) *)
+}
+
+(** [run ?tech ?parallel ?sign_mode ?theta ~bits style].
+
+    [parallel] is the per-capacitor parallel-wire count; by default the
+    paper's policy: the paper's own styles (spiral and block chessboard)
+    route their three MSB capacitors with 2 parallel wires, while the
+    prior-work baselines ([1] proxy and [7]) use single wires, matching
+    Sec. V ("Both S and BC use our parallel routing method").
+    [sign_mode] defaults to [Paper]. *)
+val run :
+  ?tech:Tech.Process.t ->
+  ?parallel:(int -> int) ->
+  ?sign_mode:Dacmodel.Nonlinearity.sign_mode ->
+  ?theta:float ->
+  bits:int ->
+  Ccplace.Style.t ->
+  result
+
+(** [default_parallel ~bits style] is the policy described above. *)
+val default_parallel : bits:int -> Ccplace.Style.t -> int -> int
+
+(** [run_placement ?tech ?parallel ?sign_mode ?theta ?style placement]
+    routes and analyses a {e prebuilt} binary-weighted placement — e.g.
+    one produced by {!Ccplace.Refine.refine} or hand-constructed.
+    [style] only labels the result (default Spiral, whose parallel policy
+    is also the default).  Raises [Invalid_argument] when the placement's
+    counts are not binary-weighted: the DAC transfer model assumes binary
+    ratios (use the extraction layer directly for general ratios). *)
+val run_placement :
+  ?tech:Tech.Process.t ->
+  ?parallel:(int -> int) ->
+  ?sign_mode:Dacmodel.Nonlinearity.sign_mode ->
+  ?theta:float ->
+  ?style:Ccplace.Style.t ->
+  Ccgrid.Placement.t ->
+  result
+
+(** [place_route ?tech ?parallel ~bits style] runs only placement and
+    routing, returning the layout and the wall-clock seconds — the
+    Table III measurement without analysis cost. *)
+val place_route :
+  ?tech:Tech.Process.t ->
+  ?parallel:(int -> int) ->
+  bits:int ->
+  Ccplace.Style.t ->
+  Ccroute.Layout.t * float

@@ -1,0 +1,40 @@
+type candidate = {
+  unit_cap_ff : float;
+  area : float;
+  f3db_mhz : float;
+  mc : Dacmodel.Montecarlo.t;
+}
+
+let scale_tech (tech : Tech.Process.t) ~unit_cap =
+  if unit_cap <= 0. then invalid_arg "Optimize.scale_tech: unit_cap <= 0";
+  let ratio = sqrt (unit_cap /. tech.Tech.Process.unit_cap) in
+  { tech with
+    Tech.Process.unit_cap;
+    cell_width = tech.Tech.Process.cell_width *. ratio;
+    cell_height = tech.Tech.Process.cell_height *. ratio }
+
+let evaluate ?(tech = Tech.Process.finfet_12nm) ?(trials = 200) ?(bound = 0.5)
+    ~bits ~style ~unit_cap () =
+  let tech = scale_tech tech ~unit_cap in
+  let r = Flow.run ~tech ~bits style in
+  let mc =
+    Dacmodel.Montecarlo.run tech ~trials ~bound
+      ~top_parasitic:r.Flow.parasitics.Extract.Parasitics.total_top_cap
+      r.Flow.placement
+  in
+  { unit_cap_ff = unit_cap; area = r.Flow.area; f3db_mhz = r.Flow.f3db_mhz; mc }
+
+let minimum_unit_cap ?tech ?trials ?bound ?(target_yield = 0.99) ~bits ~style
+    candidates =
+  if target_yield < 0. || target_yield > 1. then
+    invalid_arg "Optimize.minimum_unit_cap: target_yield must be in [0, 1]";
+  let rec walk trace = function
+    | [] -> (None, List.rev trace)
+    | unit_cap :: rest ->
+      let c = evaluate ?tech ?trials ?bound ~bits ~style ~unit_cap () in
+      let trace = c :: trace in
+      if c.mc.Dacmodel.Montecarlo.yield >= target_yield then
+        (Some c, List.rev trace)
+      else walk trace rest
+  in
+  walk [] (List.sort Float.compare candidates)

@@ -1,0 +1,56 @@
+let acceptable r = r.Flow.max_inl <= 0.5 && r.Flow.max_dnl <= 0.5
+
+let best_block ?tech ?sign_mode ~bits () =
+  let candidates =
+    List.map
+      (fun style -> Flow.run ?tech ?sign_mode ~bits style)
+      (Ccplace.Style.block_family ~bits)
+  in
+  let pick pool =
+    List.fold_left
+      (fun best r ->
+         match best with
+         | None -> Some r
+         | Some b -> if r.Flow.f3db_mhz > b.Flow.f3db_mhz then Some r else best)
+      None pool
+  in
+  let best =
+    match pick (List.filter acceptable candidates) with
+    | Some r -> Some r
+    | None -> pick candidates
+  in
+  match best with
+  | Some r -> r
+  | None -> invalid_arg "Sweep.best_block: empty BC family"
+
+let paper_methods =
+  [ Ccplace.Style.Rowwise; Ccplace.Style.Chessboard; Ccplace.Style.Spiral ]
+
+let row ?tech ?sign_mode ~bits () =
+  List.map (fun style -> Flow.run ?tech ?sign_mode ~bits style) paper_methods
+  @ [ best_block ?tech ?sign_mode ~bits () ]
+
+let frontier ?(tech = Tech.Process.finfet_12nm) ?(style = Ccplace.Style.Spiral)
+    ~bits budgets =
+  let placement = Ccplace.Style.place ~bits style in
+  List.map
+    (fun budget ->
+       if budget < 0 then invalid_arg "Sweep.frontier: negative budget";
+       let refined =
+         if budget = 0 then placement
+         else
+           fst
+             (Ccplace.Refine.refine tech ~max_passes:50 ~max_swaps:budget
+                placement)
+       in
+       (budget, Flow.run_placement ~tech ~style refined))
+    budgets
+
+let parallel_sweep ?tech ~bits ~style ks =
+  List.map
+    (fun k ->
+       if k < 1 then invalid_arg "Sweep.parallel_sweep: k must be >= 1";
+       let parallel = Ccroute.Layout.msb_parallel ~bits ~p:k in
+       let r = Flow.run ?tech ~parallel ~bits style in
+       (k, r.Flow.f3db_mhz))
+    ks

@@ -1,0 +1,87 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Fft: length must be a power of two";
+  n
+
+(* iterative Cooley-Tukey with bit-reversal permutation *)
+let fft ~re ~im =
+  let n = check re im in
+  if n > 1 then begin
+    (* bit reversal *)
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let tr = re.(i) in
+        re.(i) <- re.(!j);
+        re.(!j) <- tr;
+        let ti = im.(i) in
+        im.(i) <- im.(!j);
+        im.(!j) <- ti
+      end;
+      let rec carry m =
+        if m land !j <> 0 then begin
+          j := !j lxor m;
+          carry (m lsr 1)
+        end
+        else j := !j lor m
+      in
+      carry (n lsr 1)
+    done;
+    (* butterflies *)
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let angle = -2. *. Float.pi /. float_of_int !len in
+      let wr = cos angle and wi = sin angle in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1. and ci = ref 0. in
+        for k = 0 to half - 1 do
+          let a = !i + k and b = !i + k + half in
+          let tr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+          let ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti;
+          let nr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := nr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let ifft ~re ~im =
+  let n = check re im in
+  for i = 0 to n - 1 do
+    im.(i) <- -.im.(i)
+  done;
+  fft ~re ~im;
+  let inv = 1. /. float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) *. inv;
+    im.(i) <- -.im.(i) *. inv
+  done
+
+let magnitude ~re ~im k = Float.hypot re.(k) im.(k)
+
+let power_spectrum ~re ~im =
+  let n = check re im in
+  let half = n / 2 in
+  Array.init (half + 1)
+    (fun k ->
+       let m = magnitude ~re ~im k /. float_of_int n in
+       let p = m *. m in
+       if k = 0 || k = half then p else 2. *. p)
+
+let hann n =
+  if n < 1 then invalid_arg "Fft.hann: n must be >= 1";
+  Array.init n (fun i ->
+      0.5
+      *. (1. -. cos (2. *. Float.pi *. float_of_int i /. float_of_int n)))

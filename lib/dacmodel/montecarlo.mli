@@ -1,0 +1,37 @@
+(** Monte-Carlo mismatch analysis — the numerical-yield alternative to the
+    analytical 3-sigma model (the paper models "random mismatch using a
+    3-sigma model, as opposed to numerical yield integrals [7]"; this
+    module implements the latter so both can be compared and used for
+    yield-driven sizing).
+
+    Each trial draws one jointly-Gaussian realisation of the capacitor
+    shifts from the exact Eq. 6 covariance (plus the deterministic
+    systematic shifts), evaluates the full DAC transfer curve and records
+    the worst |INL| and |DNL|. *)
+
+type t = {
+  trials : int;
+  mean_inl : float;            (** mean over trials of max |INL|, LSB *)
+  mean_dnl : float;
+  p95_inl : float;             (** 95th percentile of max |INL|, LSB *)
+  p95_dnl : float;
+  max_inl : float;             (** worst trial *)
+  max_dnl : float;
+  yield : float;               (** fraction of trials with both max |INL|
+                                   and max |DNL| within the bound *)
+}
+
+(** [run tech ?seed ?theta ?top_parasitic ?bound ~trials placement].
+    [bound] is the pass/fail linearity limit in LSB (default 0.5).
+    Cost: one covariance build plus [trials * 2^N * N] flops.
+    Raises [Invalid_argument] when [trials < 1]. *)
+val run :
+  Tech.Process.t -> ?seed:int -> ?theta:float -> ?top_parasitic:float ->
+  ?bound:float -> trials:int -> Ccgrid.Placement.t -> t
+
+(** [trial_curves tech ?seed ?theta ?top_parasitic placement ~trials] is
+    the per-trial (max |INL|, max |DNL|) list, for callers that want the
+    raw distribution. *)
+val trial_curves :
+  Tech.Process.t -> ?seed:int -> ?theta:float -> ?top_parasitic:float ->
+  trials:int -> Ccgrid.Placement.t -> (float * float) list

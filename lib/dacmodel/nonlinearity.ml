@@ -1,0 +1,126 @@
+type sign_mode =
+  | Paper
+  | Worst_case
+
+type t = {
+  inl : float array;
+  dnl : float array;
+  max_abs_inl : float;
+  max_abs_dnl : float;
+  sigma_t : float;
+}
+
+let max_abs a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+(* Output voltages for one global sign assignment of the +-3 sigma points. *)
+let voltages tech (placement : Ccgrid.Placement.t) ~sys ~cov ~sigma_t
+    ~top_parasitic ~s_on ~s_t =
+  let bits = placement.Ccgrid.Placement.bits in
+  let vref = 1.0 in
+  let m = float_of_int placement.Ccgrid.Placement.unit_multiplier in
+  let cu = tech.Tech.Process.unit_cap in
+  let codes = Transfer.num_codes ~bits in
+  let c_t = float_of_int codes *. m *. cu in
+  let sys_total = Array.fold_left ( +. ) 0. sys in
+  let delta_t = sys_total +. (s_t *. 3. *. sigma_t) +. top_parasitic in
+  Array.init codes
+    (fun code ->
+       if code = 0 then 0.
+       else begin
+         let on_caps = ref [] and sys_on = ref 0. in
+         for k = 1 to bits do
+           if Transfer.bit ~code k then begin
+             on_caps := k :: !on_caps;
+             sys_on := !sys_on +. sys.(k)
+           end
+         done;
+         let sigma_on = Capmodel.Covariance.sigma_of_subset cov !on_caps in
+         let c_on = float_of_int code *. m *. cu in
+         let delta_on = !sys_on +. (s_on *. 3. *. sigma_on) in
+         Transfer.perturbed ~vref ~c_on ~delta_on ~c_t ~delta_t
+       end)
+
+let inl_of_voltages ~bits v =
+  let vref = 1.0 in
+  let lsb = Transfer.lsb ~bits ~vref in
+  let codes = Transfer.num_codes ~bits in
+  Array.init codes
+    (fun code ->
+       if code = 0 then 0.
+       else (v.(code) -. Transfer.ideal ~bits ~code ~vref) /. lsb)
+
+(* DNL from the differential step: V(i) - V(i-1) =
+   V_REF (m C_u + dC_diff) / (C_T + dC_T), with dC_diff the weighted sum
+   over the bits that toggle between codes i-1 and i (Eq. 7 with the
+   3-sigma point of the {e difference}, which is what a worst-case step
+   error means — the common-mode 3-sigma shifts of Eq. 13 cancel in the
+   subtraction). *)
+let dnl_codes tech (placement : Ccgrid.Placement.t) ~sys ~cov ~sigma_t
+    ~top_parasitic ~s_diff ~s_t =
+  let bits = placement.Ccgrid.Placement.bits in
+  let vref = 1.0 in
+  let m = float_of_int placement.Ccgrid.Placement.unit_multiplier in
+  let cu = tech.Tech.Process.unit_cap in
+  let codes = Transfer.num_codes ~bits in
+  let c_t = float_of_int codes *. m *. cu in
+  let sys_total = Array.fold_left ( +. ) 0. sys in
+  let delta_t = sys_total +. (s_t *. 3. *. sigma_t) +. top_parasitic in
+  let lsb = Transfer.lsb ~bits ~vref in
+  Array.init codes
+    (fun code ->
+       if code = 0 then 0.
+       else begin
+         let weights = ref [] and sys_diff = ref 0. in
+         for k = 1 to bits do
+           let now = Transfer.bit ~code k and before = Transfer.bit ~code:(code - 1) k in
+           if now <> before then begin
+             let w = if now then 1. else -1. in
+             weights := (k, w) :: !weights;
+             sys_diff := !sys_diff +. (w *. sys.(k))
+           end
+         done;
+         let sigma_diff = Capmodel.Covariance.sigma_weighted cov !weights in
+         let step =
+           vref
+           *. ((m *. cu) +. !sys_diff +. (s_diff *. 3. *. sigma_diff))
+           /. (c_t +. delta_t)
+         in
+         (step -. lsb) /. lsb
+       end)
+
+let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
+    placement =
+  let bits = placement.Ccgrid.Placement.bits in
+  let positions = Ccgrid.Placement.positions_by_cap tech placement in
+  let systematic_shift =
+    match profile with
+    | Some p -> Capmodel.Profile.systematic_shift tech p
+    | None -> Capmodel.Gradient.systematic_shift tech ?theta
+  in
+  let sys = Array.map systematic_shift positions in
+  let cov = Capmodel.Covariance.build tech positions in
+  let all_caps = List.init (bits + 1) (fun k -> k) in
+  let sigma_t = Capmodel.Covariance.sigma_of_subset cov all_caps in
+  let run_inl ~s_on ~s_t =
+    inl_of_voltages ~bits
+      (voltages tech placement ~sys ~cov ~sigma_t ~top_parasitic ~s_on ~s_t)
+  in
+  let run_dnl ~s_diff ~s_t =
+    dnl_codes tech placement ~sys ~cov ~sigma_t ~top_parasitic ~s_diff ~s_t
+  in
+  match sign_mode with
+  | Paper ->
+    let inl = run_inl ~s_on:1. ~s_t:1. in
+    let dnl = run_dnl ~s_diff:1. ~s_t:1. in
+    { inl; dnl; max_abs_inl = max_abs inl; max_abs_dnl = max_abs dnl; sigma_t }
+  | Worst_case ->
+    let combos = [ (1., 1.); (1., -1.); (-1., 1.); (-1., -1.) ] in
+    let inls = List.map (fun (s_on, s_t) -> run_inl ~s_on ~s_t) combos in
+    let dnls = List.map (fun (s_diff, s_t) -> run_dnl ~s_diff ~s_t) combos in
+    let worst arrays = List.fold_left (fun acc a -> Float.max acc (max_abs a)) 0. arrays in
+    let inl, dnl =
+      match inls, dnls with
+      | i :: _, d :: _ -> (i, d)
+      | [], _ | _, [] -> assert false
+    in
+    { inl; dnl; max_abs_inl = worst inls; max_abs_dnl = worst dnls; sigma_t }

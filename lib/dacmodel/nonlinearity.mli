@@ -1,0 +1,32 @@
+(** Mismatch-induced nonlinearity: INL and DNL under the 3-sigma model
+    (Sec. III-A, Eq. 7–14).
+
+    For every input code the systematic shifts (oxide gradient, Eq. 12)
+    and the 3-sigma point of the correlated random variation (Eq. 13–14)
+    perturb [C_ON] and [C_T]; the top-plate parasitic [C^TS] loads the
+    summing node and adds to [C_T] (gain error).  [C^TB] terms vanish
+    under the non-overlapped routing of Sec. IV-B1. *)
+
+type sign_mode =
+  | Paper       (** add +3 sigma to both numerator and denominator, as the
+                    paper's Eq. after (14) states *)
+  | Worst_case  (** maximise |INL|/|DNL| over the four +-3 sigma sign
+                    combinations *)
+
+type t = {
+  inl : float array;       (** per code, LSB; length [2^N] *)
+  dnl : float array;       (** per code, LSB; [dnl.(0) = 0] *)
+  max_abs_inl : float;
+  max_abs_dnl : float;
+  sigma_t : float;         (** sigma of the total-capacitance shift, fF *)
+}
+
+(** [analyze tech ?theta ?profile ?sign_mode ?top_parasitic placement]:
+    [top_parasitic] is the extracted [sum C^TS] in fF (default 0);
+    [theta] overrides the gradient angle; [profile] replaces the linear
+    gradient with an arbitrary {!Capmodel.Profile} (curvature studies);
+    [sign_mode] defaults to [Paper].  Cost: one covariance build
+    (quadratic in unit cells) plus [O(2^N * N^2)] code evaluation. *)
+val analyze :
+  Tech.Process.t -> ?theta:float -> ?profile:Capmodel.Profile.t ->
+  ?sign_mode:sign_mode -> ?top_parasitic:float -> Ccgrid.Placement.t -> t

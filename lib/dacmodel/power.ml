@@ -1,0 +1,37 @@
+type t = {
+  average_energy_fj : float;
+  worst_energy_fj : float;
+  average_power_nw : float;
+}
+
+let bottom_plate_load ~tech ~counts ~wire_cap_of cap =
+  if cap < 0 || cap >= Array.length counts then
+    invalid_arg "Power.bottom_plate_load: bad capacitor id";
+  (float_of_int counts.(cap) *. tech.Tech.Process.unit_cap) +. wire_cap_of cap
+
+let analyze ~tech ~counts ~wire_cap_of ~bits ~vref ~f3db_mhz =
+  Ccgrid.Weights.check_bits bits;
+  if vref <= 0. then invalid_arg "Power.analyze: vref must be positive";
+  let load = Array.init (bits + 1) (bottom_plate_load ~tech ~counts ~wire_cap_of) in
+  let transition_energy code =
+    (* bits toggling between code-1 and code; each toggling bit's
+       bottom-plate load is charged or discharged through VREF/GND *)
+    let e = ref 0. in
+    for k = 1 to bits do
+      if Transfer.bit ~code k <> Transfer.bit ~code:(code - 1) k then
+        e := !e +. (load.(k) *. vref *. vref)
+    done;
+    !e
+  in
+  let codes = Transfer.num_codes ~bits in
+  let total = ref 0. and worst = ref 0. in
+  for code = 1 to codes - 1 do
+    let e = transition_energy code in
+    total := !total +. e;
+    worst := Float.max !worst e
+  done;
+  let average = !total /. float_of_int (codes - 1) in
+  (* fF * V^2 = fJ; fJ * MHz = nW *)
+  { average_energy_fj = average;
+    worst_energy_fj = !worst;
+    average_power_nw = average *. f3db_mhz }

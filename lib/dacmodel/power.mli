@@ -1,0 +1,29 @@
+(** Switching power of the capacitor array.
+
+    Bottom-plate parasitics "do not affect DAC linearity, but affect the
+    load for V_REF, and impact power and switching frequency" (Sec. II-A).
+    Each conversion charges/discharges the bottom-plate load of the
+    capacitors whose code bit toggles; the energy drawn from V_REF when a
+    capacitance [C] is charged to [V] is [C V^2] (half stored, half
+    dissipated in the switch/wire resistance). *)
+
+type t = {
+  average_energy_fj : float;   (** mean over a full-ramp code sequence, fJ *)
+  worst_energy_fj : float;     (** worst single code transition, fJ *)
+  average_power_nw : float;    (** at the array's own f3dB rate, nW *)
+}
+
+(** [bottom_plate_load parasitics ~cap] is the switched load of bit [cap]:
+    its unit capacitors plus the routing capacitance of its net, fF. *)
+val bottom_plate_load :
+  tech:Tech.Process.t -> counts:int array ->
+  wire_cap_of:(int -> float) -> int -> float
+
+(** [analyze ~tech ~counts ~wire_cap_of ~bits ~vref ~f3db_mhz] evaluates
+    the energy of every adjacent code transition of a full ramp
+    (0 -> 2^N - 1) and the average power when converting at [f3db_mhz].
+    [wire_cap_of k] is the routed wire capacitance of bit [k]'s net (fF);
+    [counts] are the per-capacitor unit-cell counts. *)
+val analyze :
+  tech:Tech.Process.t -> counts:int array -> wire_cap_of:(int -> float) ->
+  bits:int -> vref:float -> f3db_mhz:float -> t

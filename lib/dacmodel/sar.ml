@@ -1,0 +1,88 @@
+type t = {
+  bits : int;
+  codes : int array;
+  inl_lsb : float;
+  dnl_lsb : float;
+  missing_codes : int;
+  enob : float;
+}
+
+let capacitor_values tech ?theta ?sample placement =
+  let positions = Ccgrid.Placement.positions_by_cap tech placement in
+  let values =
+    Array.map (fun ps -> Capmodel.Gradient.capacitor_value tech ?theta ps)
+      positions
+  in
+  (match sample with
+   | None -> ()
+   | Some shifts ->
+     if Array.length shifts <> Array.length values then
+       invalid_arg "Sar.capacitor_values: sample length mismatch";
+     Array.iteri (fun k s -> values.(k) <- values.(k) +. s) shifts);
+  values
+
+let dac_out ~bits ~caps ~vref code =
+  let c_t = Array.fold_left ( +. ) 0. caps in
+  let c_on = ref 0. in
+  for k = 1 to bits do
+    if Transfer.bit ~code k then c_on := !c_on +. caps.(k)
+  done;
+  vref *. !c_on /. c_t
+
+let convert ~bits ~caps ~vref vin =
+  if Array.length caps <> bits + 1 then
+    invalid_arg "Sar.convert: caps length must be bits + 1";
+  let vin = Float.min vref (Float.max 0. vin) in
+  let code = ref 0 in
+  for k = bits downto 1 do
+    let trial = !code lor (1 lsl (k - 1)) in
+    if dac_out ~bits ~caps ~vref trial <= vin then code := trial
+  done;
+  !code
+
+let characterise tech ?theta ?sample ?(samples_per_code = 4) placement =
+  if samples_per_code < 1 then
+    invalid_arg "Sar.characterise: samples_per_code must be >= 1";
+  let bits = placement.Ccgrid.Placement.bits in
+  let caps = capacitor_values tech ?theta ?sample placement in
+  let vref = 1.0 in
+  let num_codes = Transfer.num_codes ~bits in
+  let total = samples_per_code * num_codes in
+  let codes =
+    Array.init total
+      (fun j ->
+         let vin = (float_of_int j +. 0.5) /. float_of_int total *. vref in
+         convert ~bits ~caps ~vref vin)
+  in
+  let lsb = Transfer.lsb ~bits ~vref in
+  (* first input index producing a code >= c *)
+  let edge = Array.make num_codes Float.nan in
+  let next_code = ref 1 in
+  Array.iteri
+    (fun j code ->
+       while !next_code <= code && !next_code < num_codes do
+         edge.(!next_code) <-
+           (float_of_int j +. 0.5) /. float_of_int total *. vref;
+         incr next_code
+       done)
+    codes;
+  let worst_inl = ref 0. and worst_dnl = ref 0. in
+  for c = 1 to num_codes - 1 do
+    if Float.is_finite edge.(c) then begin
+      let inl = (edge.(c) -. (float_of_int c *. lsb)) /. lsb in
+      worst_inl := Float.max !worst_inl (Float.abs inl);
+      if c > 1 && Float.is_finite edge.(c - 1) then begin
+        let dnl = (edge.(c) -. edge.(c - 1) -. lsb) /. lsb in
+        worst_dnl := Float.max !worst_dnl (Float.abs dnl)
+      end
+    end
+  done;
+  let seen = Array.make num_codes false in
+  Array.iter (fun c -> seen.(c) <- true) codes;
+  let missing =
+    Array.fold_left (fun acc s -> if s then acc else acc + 1) 0 seen
+  in
+  let worst = Float.max !worst_inl !worst_dnl in
+  let enob = float_of_int bits -. (Float.log (1. +. (2. *. worst)) /. Float.log 2.) in
+  { bits; codes; inl_lsb = !worst_inl; dnl_lsb = !worst_dnl;
+    missing_codes = missing; enob }

@@ -1,0 +1,41 @@
+(** Behavioural SAR ADC on top of the capacitor array — the application
+    the MOM-capacitor CC-layout literature targets ([9], [10], [12] are
+    SAR-ADC papers; the charge-scaling DAC of Fig. 1 is the SAR's feedback
+    DAC).
+
+    The model runs a binary-search conversion per input voltage using the
+    {e actual} (perturbed) capacitor values: at step k the candidate code
+    sets bit N-k and keeps it iff the DAC output does not exceed the input.
+    Static metrics (code edges, INL in ADC terms, missing codes) follow
+    from sweeping the input. *)
+
+type t = {
+  bits : int;
+  codes : int array;           (** conversion result per input sample *)
+  inl_lsb : float;             (** worst |INL| of the code edges, LSB *)
+  dnl_lsb : float;             (** worst |DNL| of the code widths, LSB *)
+  missing_codes : int;         (** codes never produced by the sweep *)
+  enob : float;                (** effective bits from the INL/DNL bound:
+                                    N - log2(1 + 2 max(|INL|,|DNL|)) *)
+}
+
+(** [capacitor_values tech ?theta ?sample placement] are the effective
+    capacitor values (fF) of the placed array: nominal + systematic
+    gradient shift + an optional random-mismatch sample (from
+    {!Capmodel.Gauss}). *)
+val capacitor_values :
+  Tech.Process.t -> ?theta:float -> ?sample:float array ->
+  Ccgrid.Placement.t -> float array
+
+(** [convert ~bits ~caps ~vref vin] runs one successive-approximation
+    conversion given the effective capacitor values [caps] (length
+    [bits + 1], index 0 = always-grounded C_0).  [vin] is clamped to
+    [0, vref]. *)
+val convert : bits:int -> caps:float array -> vref:float -> float -> int
+
+(** [characterise tech ?theta ?sample ?samples_per_code placement] sweeps
+    a full-scale ramp ([samples_per_code] points per nominal code,
+    default 4) and derives the static metrics. *)
+val characterise :
+  Tech.Process.t -> ?theta:float -> ?sample:float array ->
+  ?samples_per_code:int -> Ccgrid.Placement.t -> t

@@ -1,0 +1,42 @@
+(** Dynamic (spectral) DAC metrics: SNDR, SFDR, THD and dynamic ENOB.
+
+    The paper evaluates the array statically (INL/DNL) and in bandwidth
+    (f3dB); data-converter practice also characterises a full-swing sine
+    reconstructed through the DAC.  Mismatch turns the static INL pattern
+    into harmonic distortion, so the layout styles separate in SFDR
+    exactly as they do in INL.
+
+    Method: a coherently-sampled sine (J whole cycles in N = 2^m samples,
+    J odd and coprime to N, so every sample lands on a distinct phase and
+    no window is needed) is quantised to codes, mapped through the
+    perturbed transfer curve, and FFT-analysed.  Signal = the bin at J;
+    harmonics = bins at multiples of J (aliased); noise = everything
+    else. *)
+
+type t = {
+  sndr_db : float;      (** signal / (noise + distortion) *)
+  sfdr_db : float;      (** signal / worst single spur *)
+  thd_db : float;       (** total harmonic (first 5) / signal, negative *)
+  enob : float;         (** (SNDR - 1.76) / 6.02 *)
+  signal_bin : int;
+  spectrum_db : float array;  (** one-sided spectrum, dBc, for plotting *)
+}
+
+(** [of_curve ~bits ~vout ?samples ?cycles ()] analyses a DAC transfer
+    curve [vout.(code)] (length [2^bits], as produced by
+    {!Nonlinearity} internals or any model).  [samples] (default 4096)
+    must be a power of two; [cycles] (default 63) should be odd and
+    coprime to [samples].  Raises [Invalid_argument] on bad sizes. *)
+val of_curve :
+  bits:int -> vout:float array -> ?samples:int -> ?cycles:int -> unit -> t
+
+(** [analyze tech ?theta ?sample ?samples placement] reconstructs the
+    sine through the placed array's perturbed capacitor values
+    ({!Sar.capacitor_values}) and analyses the spectrum. *)
+val analyze :
+  Tech.Process.t -> ?theta:float -> ?sample:float array -> ?samples:int ->
+  Ccgrid.Placement.t -> t
+
+(** [ideal_sndr_db ~bits] is the quantisation-noise bound
+    [6.02 N + 1.76] dB. *)
+val ideal_sndr_db : bits:int -> float

@@ -1,0 +1,15 @@
+let ln2 = Float.log 2.
+
+let settling_time_fs ~bits ~tau_fs =
+  Ccgrid.Weights.check_bits bits;
+  float_of_int (bits + 2) *. ln2 *. tau_fs
+
+let f3db_mhz ~bits ~tau_fs =
+  Ccgrid.Weights.check_bits bits;
+  if tau_fs <= 0. then invalid_arg "Speed.f3db_mhz: tau must be positive";
+  let tau_s = tau_fs *. 1e-15 in
+  1. /. (2. *. float_of_int (bits + 2) *. ln2 *. tau_s) /. 1e6
+
+let improvement_factor ~base_mhz ~mhz =
+  if base_mhz <= 0. then invalid_arg "Speed.improvement_factor: base <= 0";
+  mhz /. base_mhz

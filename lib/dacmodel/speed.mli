@@ -1,0 +1,17 @@
+(** Settling time and 3 dB frequency (Sec. III-B, Eq. 15–16).
+
+    The charge path of the worst bit is an RC network with Elmore time
+    constant [tau]; settling to within 1/4 LSB of the final value needs
+    [t_settle = ln(2^(N+2)) tau], and a full charge-discharge cycle gives
+    [f_3dB = 1 / (2 (N+2) ln 2 tau)]. *)
+
+(** [settling_time_fs ~bits ~tau_fs] (Eq. 15), femtoseconds. *)
+val settling_time_fs : bits:int -> tau_fs:float -> float
+
+(** [f3db_mhz ~bits ~tau_fs] (Eq. 16).  Raises [Invalid_argument] when
+    [tau_fs <= 0]. *)
+val f3db_mhz : bits:int -> tau_fs:float -> float
+
+(** [improvement_factor ~base_mhz ~mhz] is [mhz / base_mhz] — the y-axis of
+    Fig. 6a. *)
+val improvement_factor : base_mhz:float -> mhz:float -> float

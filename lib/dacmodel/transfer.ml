@@ -1,0 +1,24 @@
+let num_codes ~bits =
+  Ccgrid.Weights.check_bits bits;
+  1 lsl bits
+
+let bit ~code k =
+  if k < 1 then invalid_arg "Transfer.bit: k must be >= 1";
+  (code lsr (k - 1)) land 1 = 1
+
+let on_units ~bits ~code =
+  let n = num_codes ~bits in
+  if code < 0 || code >= n then invalid_arg "Transfer: code out of range";
+  code
+
+let ideal ~bits ~code ~vref =
+  let n = num_codes ~bits in
+  if code < 0 || code >= n then invalid_arg "Transfer.ideal: code out of range";
+  vref *. float_of_int code /. float_of_int n
+
+let lsb ~bits ~vref = vref /. float_of_int (num_codes ~bits)
+
+let perturbed ~vref ~c_on ~delta_on ~c_t ~delta_t =
+  let denom = c_t +. delta_t in
+  if denom <= 0. then invalid_arg "Transfer.perturbed: non-positive C_T";
+  vref *. (c_on +. delta_on) /. denom

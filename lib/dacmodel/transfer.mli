@@ -1,0 +1,28 @@
+(** Ideal charge-scaling DAC transfer function (Sec. II-A).
+
+    For an N-bit code [i] with bits [D_1 .. D_N] (LSB to MSB),
+    [V_OUT = V_REF * C_ON(i) / C_T] with [C_ON(i) = sum D_k 2^(k-1) C_u]
+    and [C_T = 2^N C_u] (Eq. 1–2); C_0 is always grounded. *)
+
+(** [num_codes ~bits] is [2^bits]. *)
+val num_codes : bits:int -> int
+
+(** [bit ~code k] is [D_k] of the code, [k] in [1, N]. *)
+val bit : code:int -> int -> bool
+
+(** [on_units ~bits ~code] is [C_ON(code) / C_u] — the number of unit
+    capacitors switched to [V_REF]. *)
+val on_units : bits:int -> code:int -> int
+
+(** [ideal ~bits ~code ~vref] is the ideal output voltage (Eq. 2).
+    Raises [Invalid_argument] when the code is out of [0, 2^N - 1]. *)
+val ideal : bits:int -> code:int -> vref:float -> float
+
+(** [lsb ~bits ~vref] is [V_REF / 2^N]. *)
+val lsb : bits:int -> vref:float -> float
+
+(** [perturbed ~vref ~c_on ~delta_on ~c_t ~delta_t] is Eq. 9:
+    [V_REF (C_ON + dC_ON) / (C_T + dC_T)]. *)
+val perturbed :
+  vref:float -> c_on:float -> delta_on:float -> c_t:float -> delta_t:float ->
+  float

@@ -1,0 +1,24 @@
+(** Build the RC tree of one capacitor's bottom-plate charging network
+    from a routed layout (Sec. III-B).
+
+    The tree is rooted at the driver: input via, primary trunk, bridge
+    segments to secondary trunks, attach vias and stubs, then the branch
+    wires of each connected group with one unit capacitor [C_u] of load at
+    every cell.  Parallel-wire bundles are collapsed into equivalent
+    edges (R/p wires, R/p^2 vias, C*p). *)
+
+open Ccgrid
+
+type t = {
+  tree : Rcnet.Rctree.t;
+  root : Rcnet.Rctree.node;          (** driver *)
+  cell_nodes : (Cell.t * Rcnet.Rctree.node) list;
+}
+
+(** [build layout ~cap].  Raises [Invalid_argument] for a capacitor with
+    no routed net. *)
+val build : Ccroute.Layout.t -> cap:int -> t
+
+(** [worst_elmore_fs net] is the maximum Elmore delay from the driver to
+    any unit-capacitor cell, femtoseconds. *)
+val worst_elmore_fs : t -> float

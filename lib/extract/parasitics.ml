@@ -1,0 +1,128 @@
+open Ccroute
+
+type bit_metrics = {
+  bm_cap : int;
+  bm_via_cuts : int;
+  bm_wirelength : float;
+  bm_via_resistance : float;
+  bm_wire_resistance : float;
+  bm_wire_cap : float;
+  bm_elmore_fs : float;
+}
+
+type t = {
+  per_bit : bit_metrics array;
+  total_top_cap : float;
+  total_wire_cap : float;
+  total_coupling_cap : float;
+  total_via_cuts : int;
+  total_wirelength : float;
+  critical_bit : int;
+  critical_elmore_fs : float;
+  area : float;
+}
+
+let total_resistance m = m.bm_via_resistance +. m.bm_wire_resistance
+
+let layer_of layout name = Tech.Process.layer layout.Layout.tech name
+
+let bit_metrics layout cap =
+  let tech = layout.Layout.tech in
+  (* Branch wires are abutting MOM fingers (device layers), not routing
+     metal: they are excluded from the wirelength, capacitance and
+     resistance accounting, matching the paper's S metrics (Sec. V). *)
+  let wires =
+    List.filter
+      (fun w -> w.Layout.w_cap = cap && w.Layout.w_kind <> Layout.Branch)
+      layout.Layout.wires
+  in
+  let vias = List.filter (fun v -> v.Layout.v_cap = cap) layout.Layout.vias in
+  let via_cuts =
+    List.fold_left (fun acc v -> acc + Tech.Parallel.via_count ~p:v.Layout.v_p) 0 vias
+  in
+  let via_resistance =
+    List.fold_left
+      (fun acc v -> acc +. Tech.Parallel.via_resistance tech ~p:v.Layout.v_p)
+      0. vias
+  in
+  let wirelength =
+    List.fold_left (fun acc w -> acc +. Layout.wire_length w) 0. wires
+  in
+  let wire_resistance, wire_cap =
+    List.fold_left
+      (fun (r, c) w ->
+         let layer = layer_of layout w.Layout.w_layer in
+         let len = Layout.wire_length w in
+         ( r +. Tech.Parallel.wire_resistance layer ~length:len ~p:w.Layout.w_p,
+           c +. Tech.Parallel.wire_capacitance layer ~length:len ~p:w.Layout.w_p ))
+      (0., 0.) wires
+  in
+  let net = Netbuild.build layout ~cap in
+  { bm_cap = cap;
+    bm_via_cuts = via_cuts;
+    bm_wirelength = wirelength;
+    bm_via_resistance = via_resistance;
+    bm_wire_resistance = wire_resistance;
+    bm_wire_cap = wire_cap;
+    bm_elmore_fs = Netbuild.worst_elmore_fs net }
+
+(* sum C^BB: coupling between adjacent trunk tracks in the same channel,
+   proportional to the overlap of their vertical extents (Sec. II-B). *)
+let coupling_cap layout =
+  let m3 = layer_of layout Tech.Layer.M3 in
+  let trunks_by_slot = Hashtbl.create 32 in
+  Array.iter
+    (fun (net : Layout.capnet) ->
+       List.iter
+         (fun (tk : Layout.trunk) ->
+            Hashtbl.replace trunks_by_slot
+              (tk.Layout.tk_channel, tk.Layout.tk_track) tk)
+         net.Layout.cn_trunks)
+    layout.Layout.nets;
+  let total = ref 0. in
+  Array.iteri
+    (fun channel tracks ->
+       let n = Array.length tracks in
+       for t = 0 to n - 2 do
+         match
+           ( Hashtbl.find_opt trunks_by_slot (channel, t),
+             Hashtbl.find_opt trunks_by_slot (channel, t + 1) )
+         with
+         | Some a, Some b when a.Layout.tk_cap <> b.Layout.tk_cap ->
+           let ia = Geom.Interval.make a.Layout.tk_y_low a.Layout.tk_y_high in
+           let ib = Geom.Interval.make b.Layout.tk_y_low b.Layout.tk_y_high in
+           let overlap = Geom.Interval.overlap_length ia ib in
+           total := !total +. (m3.Tech.Layer.coupling *. overlap)
+         | Some _, Some _ | Some _, None | None, Some _ | None, None -> ()
+       done)
+    layout.Layout.plan.Plan.track_caps;
+  !total
+
+let extract layout =
+  let bits = layout.Layout.placement.Ccgrid.Placement.bits in
+  let per_bit = Array.init (bits + 1) (bit_metrics layout) in
+  let total_wire_cap =
+    Array.fold_left (fun acc m -> acc +. m.bm_wire_cap) 0. per_bit
+  in
+  let total_via_cuts =
+    Array.fold_left (fun acc m -> acc + m.bm_via_cuts) 0 per_bit
+  in
+  let total_wirelength =
+    Array.fold_left (fun acc m -> acc +. m.bm_wirelength) 0. per_bit
+  in
+  let critical_bit, critical_elmore_fs =
+    Array.fold_left
+      (fun (kb, best) m ->
+         if m.bm_elmore_fs > best then (m.bm_cap, m.bm_elmore_fs) else (kb, best))
+      (0, Float.neg_infinity) per_bit
+  in
+  { per_bit;
+    total_top_cap =
+      layout.Layout.top_length *. layout.Layout.tech.Tech.Process.top_substrate_cap;
+    total_wire_cap;
+    total_coupling_cap = coupling_cap layout;
+    total_via_cuts;
+    total_wirelength;
+    critical_bit;
+    critical_elmore_fs;
+    area = layout.Layout.width *. layout.Layout.height }

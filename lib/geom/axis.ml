@@ -1,0 +1,27 @@
+type t =
+  | Horizontal
+  | Vertical
+
+let equal a b =
+  match a, b with
+  | Horizontal, Horizontal | Vertical, Vertical -> true
+  | Horizontal, Vertical | Vertical, Horizontal -> false
+
+let orthogonal = function
+  | Horizontal -> Vertical
+  | Vertical -> Horizontal
+
+let of_delta ~dx ~dy =
+  let eps = 1e-12 in
+  let x_moves = Float.abs dx > eps and y_moves = Float.abs dy > eps in
+  match x_moves, y_moves with
+  | true, false -> Horizontal
+  | false, true -> Vertical
+  | true, true -> invalid_arg "Axis.of_delta: diagonal displacement"
+  | false, false -> invalid_arg "Axis.of_delta: null displacement"
+
+let to_string = function
+  | Horizontal -> "horizontal"
+  | Vertical -> "vertical"
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,23 @@
+(** Routing axes.
+
+    FinFET back-end-of-line metal stacks use reserved-direction routing:
+    every metal layer carries wires along a single axis, and changing axis
+    forces a layer change through a via.  This module is the common
+    vocabulary for that constraint. *)
+
+type t =
+  | Horizontal  (** wires parallel to the x axis *)
+  | Vertical    (** wires parallel to the y axis *)
+
+val equal : t -> t -> bool
+
+(** [orthogonal a] is the other axis. *)
+val orthogonal : t -> t
+
+(** [of_delta ~dx ~dy] classifies a displacement: a pure-x move is
+    [Horizontal], a pure-y move is [Vertical].  Raises [Invalid_argument]
+    on diagonal or null displacements, which have no routing axis. *)
+val of_delta : dx:float -> dy:float -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,26 @@
+type t = {
+  x : float;
+  y : float;
+}
+
+let make ~x ~y = { x; y }
+let origin = { x = 0.; y = 0. }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k p = { x = k *. p.x; y = k *. p.y }
+let neg p = { x = -.p.x; y = -.p.y }
+let midpoint a b = { x = (a.x +. b.x) /. 2.; y = (a.y +. b.y) /. 2. }
+let distance a b = Float.hypot (a.x -. b.x) (a.y -. b.y)
+let manhattan a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let centroid = function
+  | [] -> invalid_arg "Point.centroid: empty list"
+  | points ->
+    let n = float_of_int (List.length points) in
+    let sum = List.fold_left add origin points in
+    scale (1. /. n) sum
+
+let pp ppf p = Format.fprintf ppf "(%.4f, %.4f)" p.x p.y

@@ -1,0 +1,38 @@
+(** Points in the layout plane.
+
+    All coordinates in this code base are micrometres unless a binding's
+    name says otherwise. *)
+
+type t = {
+  x : float;
+  y : float;
+}
+
+val make : x:float -> y:float -> t
+val origin : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+(** [neg p] is the reflection of [p] through the origin — the common-centroid
+    mirror operation when the centroid is taken as the origin. *)
+val neg : t -> t
+
+(** [midpoint a b] is the point halfway between [a] and [b]. *)
+val midpoint : t -> t -> t
+
+(** Euclidean distance, used by the correlation model (Eq. 5). *)
+val distance : t -> t -> float
+
+(** Manhattan (L1) distance, used for wirelength estimates. *)
+val manhattan : t -> t -> float
+
+(** [equal ?eps a b] compares coordinates within [eps] (default 1e-9). *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [centroid points] is the arithmetic mean of a non-empty list.
+    Raises [Invalid_argument] on the empty list. *)
+val centroid : t list -> t
+
+val pp : Format.formatter -> t -> unit

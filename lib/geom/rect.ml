@@ -1,0 +1,28 @@
+type t = {
+  x : Interval.t;
+  y : Interval.t;
+}
+
+let make (p : Point.t) (q : Point.t) =
+  { x = Interval.make p.Point.x q.Point.x; y = Interval.make p.Point.y q.Point.y }
+
+let of_intervals ~x ~y = { x; y }
+let width r = Interval.length r.x
+let height r = Interval.length r.y
+let area r = width r *. height r
+
+let center r =
+  Point.make
+    ~x:((r.x.Interval.lo +. r.x.Interval.hi) /. 2.)
+    ~y:((r.y.Interval.lo +. r.y.Interval.hi) /. 2.)
+
+let contains r (p : Point.t) =
+  Interval.contains r.x p.Point.x && Interval.contains r.y p.Point.y
+
+let hull a b = { x = Interval.hull a.x b.x; y = Interval.hull a.y b.y }
+
+let bounding = function
+  | [] -> invalid_arg "Rect.bounding: empty list"
+  | p :: rest -> List.fold_left (fun r q -> hull r (make q q)) (make p p) rest
+
+let pp ppf r = Format.fprintf ppf "%a x %a" Interval.pp r.x Interval.pp r.y

@@ -1,0 +1,25 @@
+(** Axis-aligned rectangles (micrometres). *)
+
+type t = private {
+  x : Interval.t;
+  y : Interval.t;
+}
+
+(** [make p q] is the bounding rectangle of two corner points. *)
+val make : Point.t -> Point.t -> t
+
+val of_intervals : x:Interval.t -> y:Interval.t -> t
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val center : t -> Point.t
+val contains : t -> Point.t -> bool
+
+(** [hull a b] is the smallest rectangle containing both. *)
+val hull : t -> t -> t
+
+(** [bounding points] is the bounding box of a non-empty point list.
+    Raises [Invalid_argument] on the empty list. *)
+val bounding : Point.t list -> t
+
+val pp : Format.formatter -> t -> unit

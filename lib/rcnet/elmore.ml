@@ -1,0 +1,77 @@
+(* Orient the tree away from the root with a BFS, then accumulate subtree
+   capacitances bottom-up and delays top-down. *)
+
+type oriented = {
+  parent : int array;          (* -1 for root *)
+  parent_r : float array;      (* resistance of edge to parent *)
+  order : int array;           (* BFS order, root first *)
+}
+
+let orient tree ~root =
+  let n = Rctree.num_nodes tree in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, r) ->
+       let a = (a : Rctree.node :> int) and b = (b : Rctree.node :> int) in
+       adj.(a) <- (b, r) :: adj.(a);
+       adj.(b) <- (a, r) :: adj.(b))
+    (Rctree.edges tree);
+  if Rctree.num_edges tree <> n - 1 then
+    invalid_arg "Elmore: edge count <> nodes - 1 (not a tree)";
+  let root = (root : Rctree.node :> int) in
+  let parent = Array.make n (-2) in
+  let parent_r = Array.make n 0. in
+  let order = Array.make n root in
+  let q = Queue.create () in
+  parent.(root) <- -1;
+  Queue.add root q;
+  let idx = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order.(!idx) <- u;
+    incr idx;
+    List.iter
+      (fun (v, r) ->
+         if parent.(v) = -2 then begin
+           parent.(v) <- u;
+           parent_r.(v) <- r;
+           Queue.add v q
+         end)
+      adj.(u)
+  done;
+  if !idx <> n then invalid_arg "Elmore: graph is disconnected";
+  { parent; parent_r; order }
+
+let delays tree ~root =
+  let n = Rctree.num_nodes tree in
+  let { parent; parent_r; order } = orient tree ~root in
+  let subtree = Array.init n (fun i -> Rctree.node_cap tree (Rctree.node_of_int tree i)) in
+  (* bottom-up: reverse BFS order *)
+  for i = n - 1 downto 1 do
+    let u = order.(i) in
+    if parent.(u) >= 0 then subtree.(parent.(u)) <- subtree.(parent.(u)) +. subtree.(u)
+  done;
+  let delay = Array.make n 0. in
+  for i = 1 to n - 1 do
+    let u = order.(i) in
+    delay.(u) <- delay.(parent.(u)) +. (parent_r.(u) *. subtree.(u))
+  done;
+  delay
+
+let delay_to tree ~root n = (delays tree ~root).((n : Rctree.node :> int))
+
+let max_delay tree ~root ~over =
+  let d = delays tree ~root in
+  match over with
+  | [] -> Array.fold_left Float.max 0. d
+  | nodes ->
+    List.fold_left
+      (fun acc n -> Float.max acc d.((n : Rctree.node :> int)))
+      0. nodes
+
+let path_resistance tree ~root n =
+  let { parent; parent_r; _ } = orient tree ~root in
+  let rec walk u acc =
+    if parent.(u) < 0 then acc else walk parent.(u) (acc +. parent_r.(u))
+  in
+  walk ((n : Rctree.node :> int)) 0.

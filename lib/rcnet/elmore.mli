@@ -1,0 +1,23 @@
+(** Elmore delay of an RC tree (Sec. III-B).
+
+    The Elmore delay from the root to node [n] is
+    [sum over edges e on the root->n path of R_e * C_downstream(e)], the
+    first moment of the impulse response — the standard interconnect delay
+    estimate [16]. *)
+
+(** [delays tree ~root] computes the Elmore delay (femtoseconds: ohm x fF)
+    from [root] to every node, indexed by node.  Raises [Invalid_argument]
+    when the graph is not a tree spanning all nodes (cycle or
+    disconnected). *)
+val delays : Rctree.t -> root:Rctree.node -> float array
+
+(** [delay_to tree ~root n]. *)
+val delay_to : Rctree.t -> root:Rctree.node -> Rctree.node -> float
+
+(** [max_delay tree ~root ~over] is the maximum delay over the given
+    nodes; over all nodes when [over] is empty. *)
+val max_delay : Rctree.t -> root:Rctree.node -> over:Rctree.node list -> float
+
+(** [path_resistance tree ~root n] is the total resistance (ohm) along the
+    root->n path. *)
+val path_resistance : Rctree.t -> root:Rctree.node -> Rctree.node -> float

@@ -1,0 +1,138 @@
+type waveform = {
+  times_fs : float array;
+  voltages : float array array;
+}
+
+(* Oriented tree for the direct solver. *)
+type solver = {
+  n : int;
+  root : int;
+  parent : int array;
+  parent_g : float array;     (* conductance to parent, 1/ohm *)
+  order : int array;          (* BFS order, root first *)
+  cap : float array;          (* grounded capacitance per node, fF *)
+}
+
+let min_resistance = 1e-6
+
+let make_solver tree ~root =
+  let n = Rctree.num_nodes tree in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, r) ->
+       let a = (a : Rctree.node :> int) and b = (b : Rctree.node :> int) in
+       let g = 1. /. Float.max r min_resistance in
+       adj.(a) <- (b, g) :: adj.(a);
+       adj.(b) <- (a, g) :: adj.(b))
+    (Rctree.edges tree);
+  if Rctree.num_edges tree <> n - 1 then
+    invalid_arg "Transient: edge count <> nodes - 1 (not a tree)";
+  let root = (root : Rctree.node :> int) in
+  let parent = Array.make n (-2) in
+  let parent_g = Array.make n 0. in
+  let order = Array.make n root in
+  let q = Queue.create () in
+  parent.(root) <- -1;
+  Queue.add root q;
+  let idx = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order.(!idx) <- u;
+    incr idx;
+    List.iter
+      (fun (v, g) ->
+         if parent.(v) = -2 then begin
+           parent.(v) <- u;
+           parent_g.(v) <- g;
+           Queue.add v q
+         end)
+      adj.(u)
+  done;
+  if !idx <> n then invalid_arg "Transient: graph is disconnected";
+  let cap =
+    Array.init n (fun i -> Rctree.node_cap tree (Rctree.node_of_int tree i))
+  in
+  { n; root; parent; parent_g; order; cap }
+
+(* One backward-Euler step: solve
+   (C_i/dt + sum g) v_i - sum g_ij v_j = C_i/dt * v_i^prev,
+   with the root clamped to [vstep], by leaf elimination. *)
+let step solver ~dt_fs ~vstep v_prev v_next a b =
+  let { n; root; parent; parent_g; order; cap } = solver in
+  for i = 0 to n - 1 do
+    a.(i) <- (cap.(i) /. dt_fs) +. (if i = root then 0. else parent_g.(i));
+    b.(i) <- cap.(i) /. dt_fs *. v_prev.(i)
+  done;
+  (* add child conductances to the diagonal *)
+  for i = 0 to n - 1 do
+    let p = parent.(i) in
+    if p >= 0 then a.(p) <- a.(p) +. parent_g.(i)
+  done;
+  (* up-sweep: eliminate nodes from the leaves towards the root *)
+  for idx = n - 1 downto 1 do
+    let i = order.(idx) in
+    let p = parent.(i) in
+    let g = parent_g.(i) in
+    a.(p) <- a.(p) -. (g *. g /. a.(i));
+    b.(p) <- b.(p) +. (g *. b.(i) /. a.(i))
+  done;
+  (* down-sweep *)
+  v_next.(root) <- vstep;
+  for idx = 1 to n - 1 do
+    let i = order.(idx) in
+    let p = parent.(i) in
+    v_next.(i) <- (b.(i) +. (parent_g.(i) *. v_next.(p))) /. a.(i)
+  done
+
+let simulate tree ~root ~vstep ~dt_fs ~steps =
+  if dt_fs <= 0. then invalid_arg "Transient.simulate: dt must be positive";
+  if steps < 1 then invalid_arg "Transient.simulate: steps must be >= 1";
+  let solver = make_solver tree ~root in
+  let n = solver.n in
+  let a = Array.make n 0. and b = Array.make n 0. in
+  let v = Array.make n 0. in
+  v.(solver.root) <- vstep;
+  let times = Array.make (steps + 1) 0. in
+  let voltages = Array.make (steps + 1) (Array.copy v) in
+  for s = 1 to steps do
+    let next = Array.make n 0. in
+    step solver ~dt_fs ~vstep v next a b;
+    Array.blit next 0 v 0 n;
+    times.(s) <- float_of_int s *. dt_fs;
+    voltages.(s) <- Array.copy v
+  done;
+  { times_fs = times; voltages }
+
+let settling_time_fs tree ~root ~vstep ~tolerance ~node =
+  if tolerance <= 0. then
+    invalid_arg "Transient.settling_time_fs: tolerance must be positive";
+  let elmore = Elmore.delay_to tree ~root node in
+  let scale = Float.max elmore 1. in
+  let dt_fs = scale /. 25. in
+  let solver = make_solver tree ~root in
+  let n = solver.n in
+  let a = Array.make n 0. and b = Array.make n 0. in
+  let v = Array.make n 0. in
+  v.(solver.root) <- vstep;
+  let target = Float.abs (tolerance *. vstep) in
+  let node_i = (node : Rctree.node :> int) in
+  let max_steps = 50 * 25 in
+  let rec advance s =
+    if s > max_steps then
+      invalid_arg "Transient.settling_time_fs: did not settle within horizon"
+    else begin
+      let next = Array.make n 0. in
+      step solver ~dt_fs ~vstep v next a b;
+      Array.blit next 0 v 0 n;
+      if Float.abs (vstep -. v.(node_i)) <= target then
+        float_of_int s *. dt_fs
+      else advance (s + 1)
+    end
+  in
+  advance 1
+
+let slowest_settling_fs tree ~root ~vstep ~tolerance ~over =
+  List.fold_left
+    (fun acc node ->
+       Float.max acc (settling_time_fs tree ~root ~vstep ~tolerance ~node))
+    0. over

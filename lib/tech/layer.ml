@@ -1,0 +1,29 @@
+type name =
+  | M1
+  | M2
+  | M3
+
+type t = {
+  name : name;
+  direction : Geom.Axis.t;
+  resistance : float;
+  capacitance : float;
+  coupling : float;
+}
+
+let equal_name a b =
+  match a, b with
+  | M1, M1 | M2, M2 | M3, M3 -> true
+  | M1, (M2 | M3) | M2, (M1 | M3) | M3, (M1 | M2) -> false
+
+let pp_name ppf n =
+  Format.pp_print_string ppf
+    (match n with
+     | M1 -> "M1"
+     | M2 -> "M2"
+     | M3 -> "M3")
+
+let find stack n =
+  match List.find_opt (fun layer -> equal_name layer.name n) stack with
+  | Some layer -> layer
+  | None -> invalid_arg "Layer.find: layer not in stack"

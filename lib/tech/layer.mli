@@ -1,0 +1,29 @@
+(** Metal layers of the MOM-capacitor routing stack.
+
+    The paper builds MOM capacitors in three metal levels with the
+    bottom-plate terminal available on metal1 and the top-plate terminal on
+    metal2 (Sec. V).  Routing above the array uses metal3.  Each layer has a
+    reserved routing direction; a wire that changes direction must change
+    layer through a via. *)
+
+type name =
+  | M1  (** bottom-plate terminal layer *)
+  | M2  (** top-plate terminal layer *)
+  | M3  (** trunk/bridge routing layer *)
+
+type t = {
+  name : name;
+  direction : Geom.Axis.t;      (** reserved routing direction *)
+  resistance : float;           (** wire sheet resistance, ohm per um of length
+                                    at the quantised minimum width *)
+  capacitance : float;          (** wire capacitance to ground, fF per um *)
+  coupling : float;             (** sidewall coupling to an adjacent wire at
+                                    minimum spacing, fF per um of overlap *)
+}
+
+val equal_name : name -> name -> bool
+val pp_name : Format.formatter -> name -> unit
+
+(** [direction_of stack n] looks the layer up in a stack; raises
+    [Invalid_argument] if the stack does not define [n]. *)
+val find : t list -> name -> t

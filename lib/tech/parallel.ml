@@ -1,0 +1,27 @@
+let check_p p = if p < 1 then invalid_arg "Parallel: p must be >= 1"
+
+let wire_resistance (layer : Layer.t) ~length ~p =
+  check_p p;
+  assert (length >= 0.);
+  layer.Layer.resistance *. length /. float_of_int p
+
+let wire_capacitance (layer : Layer.t) ~length ~p =
+  check_p p;
+  assert (length >= 0.);
+  layer.Layer.capacitance *. length *. float_of_int p
+
+let via_resistance (tech : Process.t) ~p =
+  check_p p;
+  tech.Process.via_resistance /. float_of_int (p * p)
+
+let via_count ~p =
+  check_p p;
+  p * p
+
+let bundle_width (tech : Process.t) ~p =
+  check_p p;
+  float_of_int p *. tech.Process.wire_pitch
+
+let track_span (tech : Process.t) ~p =
+  check_p p;
+  float_of_int (p + 1) *. tech.Process.wire_pitch

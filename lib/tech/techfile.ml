@@ -1,0 +1,130 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  List.filter (fun t -> t <> "")
+    (String.split_on_char ' '
+       (String.map (fun c -> if c = '\t' then ' ' else c)
+          (String.trim (strip_comment line))))
+
+let parse_float key s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: not a number (%S)" key s)
+
+let parse_direction key s =
+  match String.lowercase_ascii s with
+  | "horizontal" | "h" -> Geom.Axis.Horizontal
+  | "vertical" | "v" -> Geom.Axis.Vertical
+  | other -> failwith (Printf.sprintf "%s: bad direction %S" key other)
+
+let set_layer stack name ~direction ~resistance ~capacitance ~coupling =
+  List.map
+    (fun (layer : Layer.t) ->
+       if Layer.equal_name layer.Layer.name name then
+         { Layer.name; direction; resistance; capacitance; coupling }
+       else layer)
+    stack
+
+let of_string text =
+  let apply tech line =
+    match tokens line with
+    | [] -> tech
+    | [ "name"; v ] -> { tech with Process.name = v }
+    | [ "via_resistance"; v ] ->
+      { tech with Process.via_resistance = parse_float "via_resistance" v }
+    | [ "plate_resistance"; v ] ->
+      { tech with Process.plate_resistance = parse_float "plate_resistance" v }
+    | [ "wire_pitch"; v ] ->
+      { tech with Process.wire_pitch = parse_float "wire_pitch" v }
+    | [ "cell_width"; v ] ->
+      { tech with Process.cell_width = parse_float "cell_width" v }
+    | [ "cell_height"; v ] ->
+      { tech with Process.cell_height = parse_float "cell_height" v }
+    | [ "cell_spacing"; v ] ->
+      { tech with Process.cell_spacing = parse_float "cell_spacing" v }
+    | [ "unit_cap"; v ] ->
+      { tech with Process.unit_cap = parse_float "unit_cap" v }
+    | [ "top_substrate_cap"; v ] ->
+      { tech with Process.top_substrate_cap = parse_float "top_substrate_cap" v }
+    | [ "gradient_ppm"; v ] ->
+      { tech with Process.gradient_ppm = parse_float "gradient_ppm" v }
+    | [ "gradient_theta_deg"; v ] ->
+      { tech with
+        Process.gradient_theta =
+          parse_float "gradient_theta_deg" v *. Float.pi /. 180. }
+    | [ "rho_u"; v ] -> { tech with Process.rho_u = parse_float "rho_u" v }
+    | [ "corr_length"; v ] ->
+      { tech with Process.corr_length = parse_float "corr_length" v }
+    | [ "mismatch_coeff"; v ] ->
+      { tech with Process.mismatch_coeff = parse_float "mismatch_coeff" v }
+    | [ ("m1" | "m2" | "m3") as layer_key; dir; r; c; cc ] ->
+      let name =
+        match layer_key with
+        | "m1" -> Layer.M1
+        | "m2" -> Layer.M2
+        | _ -> Layer.M3
+      in
+      { tech with
+        Process.stack =
+          set_layer tech.Process.stack name
+            ~direction:(parse_direction layer_key dir)
+            ~resistance:(parse_float layer_key r)
+            ~capacitance:(parse_float layer_key c)
+            ~coupling:(parse_float layer_key cc) }
+    | key :: _ -> failwith (Printf.sprintf "unknown or malformed key %S" key)
+  in
+  try
+    let tech =
+      List.fold_left apply Process.finfet_12nm (String.split_on_char '\n' text)
+    in
+    (* sanity: everything electrical must stay positive *)
+    if tech.Process.unit_cap <= 0. || tech.Process.wire_pitch <= 0.
+       || tech.Process.cell_width <= 0. || tech.Process.cell_height <= 0.
+       || tech.Process.via_resistance <= 0.
+       || tech.Process.rho_u <= 0. || tech.Process.rho_u >= 1.
+       || tech.Process.corr_length <= 0.
+    then Error "technology constants out of range"
+    else Ok tech
+  with Failure msg -> Error msg
+
+let load ~path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+let to_string (tech : Process.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# ccdac technology file\n";
+  add "name %s\n" tech.Process.name;
+  add "via_resistance %g\n" tech.Process.via_resistance;
+  add "plate_resistance %g\n" tech.Process.plate_resistance;
+  add "wire_pitch %g\n" tech.Process.wire_pitch;
+  add "cell_width %g\n" tech.Process.cell_width;
+  add "cell_height %g\n" tech.Process.cell_height;
+  add "cell_spacing %g\n" tech.Process.cell_spacing;
+  add "unit_cap %g\n" tech.Process.unit_cap;
+  add "top_substrate_cap %g\n" tech.Process.top_substrate_cap;
+  add "gradient_ppm %g\n" tech.Process.gradient_ppm;
+  add "gradient_theta_deg %g\n" (tech.Process.gradient_theta *. 180. /. Float.pi);
+  add "rho_u %g\n" tech.Process.rho_u;
+  add "corr_length %g\n" tech.Process.corr_length;
+  add "mismatch_coeff %g\n" tech.Process.mismatch_coeff;
+  List.iter
+    (fun (layer : Layer.t) ->
+       add "%s %s %g %g %g\n"
+         (String.lowercase_ascii
+            (Format.asprintf "%a" Layer.pp_name layer.Layer.name))
+         (Geom.Axis.to_string layer.Layer.direction)
+         layer.Layer.resistance layer.Layer.capacitance layer.Layer.coupling)
+    tech.Process.stack;
+  Buffer.contents buf

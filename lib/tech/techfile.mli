@@ -1,0 +1,26 @@
+(** Technology files: load a custom process description from a simple
+    key-value text file, so downstream users can plug their own (public)
+    constants in place of the synthetic presets.
+
+    Format — one `key value` pair per line, [#] comments, unknown keys
+    rejected; every key is optional and defaults to {!Process.finfet_12nm}:
+
+    {v
+    # my process
+    name        my-28nm
+    unit_cap    8.0          # fF
+    via_resistance 12.0      # ohm
+    m1 horizontal 4.0 0.02 0.03   # direction, r ohm/um, c fF/um, cc fF/um
+    gradient_theta_deg 45
+    v} *)
+
+(** [of_string text] parses a technology description.  [Error msg] names
+    the offending line. *)
+val of_string : string -> (Process.t, string) result
+
+(** [load ~path]. *)
+val load : path:string -> (Process.t, string) result
+
+(** [to_string tech] renders a loadable file (round-trips through
+    {!of_string}). *)
+val to_string : Process.t -> string

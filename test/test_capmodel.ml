@@ -1,0 +1,238 @@
+(* Tests for the variation models of Sec. II-C. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let tech = Tech.Process.finfet_12nm
+let point ~x ~y = Geom.Point.make ~x ~y
+
+let flat_tech = { tech with Tech.Process.gradient_ppm = 0. }
+
+(* --- gradient --- *)
+
+let test_gradient_at_origin () =
+  check_float "t0/t0 = 1" 1. (Capmodel.Gradient.thickness_ratio tech Geom.Point.origin);
+  check_float "Cu at origin" tech.Tech.Process.unit_cap
+    (Capmodel.Gradient.unit_value tech Geom.Point.origin)
+
+let test_gradient_zero_everywhere () =
+  let p = point ~x:123. ~y:(-45.) in
+  check_float "flat process" tech.Tech.Process.unit_cap
+    (Capmodel.Gradient.unit_value flat_tech p)
+
+let test_gradient_direction () =
+  (* along theta the thickness grows, so the capacitor shrinks *)
+  let theta = 0. in
+  let up = Capmodel.Gradient.unit_value tech ~theta (point ~x:10. ~y:0.) in
+  let down = Capmodel.Gradient.unit_value tech ~theta (point ~x:(-10.) ~y:0.) in
+  Alcotest.(check bool) "smaller uphill" true (up < tech.Tech.Process.unit_cap);
+  Alcotest.(check bool) "larger downhill" true (down > tech.Tech.Process.unit_cap)
+
+let test_gradient_orthogonal_invisible () =
+  (* a displacement orthogonal to theta does not change the value *)
+  let theta = 0. in
+  check_float "orthogonal" tech.Tech.Process.unit_cap
+    (Capmodel.Gradient.unit_value tech ~theta (point ~x:0. ~y:42.))
+
+let test_gradient_mirror_pair_nearly_cancels () =
+  (* the CC principle: a mirrored pair cancels the linear gradient to
+     first order; only a tiny second-order residue remains *)
+  let p = point ~x:8. ~y:5. in
+  let pair = [| p; Geom.Point.neg p |] in
+  let shift = Capmodel.Gradient.systematic_shift tech pair in
+  let single =
+    Float.abs (Capmodel.Gradient.systematic_shift tech [| p |])
+  in
+  Alcotest.(check bool) "pair residue << single shift" true
+    (Float.abs shift < single /. 100.)
+
+let test_gradient_capacitor_value_sums () =
+  let ps = [| point ~x:1. ~y:1.; point ~x:(-1.) ~y:(-1.) |] in
+  let v = Capmodel.Gradient.capacitor_value flat_tech ps in
+  check_float "2 Cu" (2. *. tech.Tech.Process.unit_cap) v
+
+let test_worst_theta () =
+  (* objective peaked at pi/2 *)
+  let theta, value =
+    Capmodel.Gradient.worst_theta ~samples:180
+      ~objective:(fun th -> sin th)
+  in
+  Alcotest.(check bool) "near pi/2" true (Float.abs (theta -. (Float.pi /. 2.)) < 0.05);
+  Alcotest.(check bool) "value near 1" true (value > 0.999)
+
+let test_worst_theta_bad_samples () =
+  Alcotest.check_raises "samples 0"
+    (Invalid_argument "Gradient.worst_theta: samples must be >= 1")
+    (fun () ->
+       ignore (Capmodel.Gradient.worst_theta ~samples:0 ~objective:(fun _ -> 0.)))
+
+(* --- correlation --- *)
+
+let test_correlation_self () =
+  let p = point ~x:3. ~y:4. in
+  check_float "rho(A,A) = 1" 1. (Capmodel.Mismatch.correlation tech p p)
+
+let test_correlation_decays () =
+  let o = Geom.Point.origin in
+  let near = Capmodel.Mismatch.correlation tech o (point ~x:1. ~y:0.) in
+  let far = Capmodel.Mismatch.correlation tech o (point ~x:30. ~y:0.) in
+  Alcotest.(check bool) "near > far" true (near > far);
+  Alcotest.(check bool) "bounded" true (near < 1. && far > 0.)
+
+let test_correlation_at_lc () =
+  (* at distance L_c the correlation equals rho_u by Eq. 4-5 *)
+  let d = tech.Tech.Process.corr_length in
+  check_float "rho_u at Lc" tech.Tech.Process.rho_u
+    (Capmodel.Mismatch.correlation tech Geom.Point.origin (point ~x:d ~y:0.))
+
+let test_pair_sums () =
+  let ps = [| point ~x:0. ~y:0.; point ~x:1. ~y:0. |] in
+  let qs = [| point ~x:0. ~y:1. |] in
+  let s_pq = Capmodel.Mismatch.pair_sum tech ps qs in
+  let expected =
+    Capmodel.Mismatch.correlation tech ps.(0) qs.(0)
+    +. Capmodel.Mismatch.correlation tech ps.(1) qs.(0)
+  in
+  check_float "S_pq" expected s_pq;
+  let s_p = Capmodel.Mismatch.intra_sum tech ps in
+  check_float "S_p single pair"
+    (Capmodel.Mismatch.correlation tech ps.(0) ps.(1))
+    s_p
+
+(* --- covariance --- *)
+
+let square_positions =
+  (* two capacitors, two cells each, on a small square *)
+  [| [| point ~x:0. ~y:0.; point ~x:2. ~y:2. |];
+     [| point ~x:0. ~y:2.; point ~x:2. ~y:0. |] |]
+
+let test_covariance_symmetric () =
+  let cov = Capmodel.Covariance.build tech square_positions in
+  check_float "symmetry"
+    (Capmodel.Covariance.covariance cov 0 1)
+    (Capmodel.Covariance.covariance cov 1 0);
+  Alcotest.(check int) "size" 2 (Capmodel.Covariance.size cov)
+
+let test_covariance_diag_is_variance () =
+  let cov = Capmodel.Covariance.build tech square_positions in
+  check_float "diag" (Capmodel.Covariance.variance cov 0)
+    (Capmodel.Covariance.covariance cov 0 0)
+
+let test_variance_formula () =
+  (* sigma_p^2 = sigma_u^2 (p + 2 S_p), Eq. 6 *)
+  let cov = Capmodel.Covariance.build tech square_positions in
+  let sigma2_u =
+    let s = Tech.Process.sigma_u tech in
+    s *. s
+  in
+  let s_p = Capmodel.Mismatch.intra_sum tech square_positions.(0) in
+  check_float "Eq. 6" (sigma2_u *. (2. +. (2. *. s_p)))
+    (Capmodel.Covariance.variance cov 0)
+
+let test_sigma_of_subset () =
+  let cov = Capmodel.Covariance.build tech square_positions in
+  let s01 = Capmodel.Covariance.sigma_of_subset cov [ 0; 1 ] in
+  let expected =
+    sqrt
+      (Capmodel.Covariance.variance cov 0
+       +. Capmodel.Covariance.variance cov 1
+       +. (2. *. Capmodel.Covariance.covariance cov 0 1))
+  in
+  check_float "subset sigma" expected s01
+
+let test_sigma_weighted_matches_subset () =
+  let cov = Capmodel.Covariance.build tech square_positions in
+  let subset = Capmodel.Covariance.sigma_of_subset cov [ 0; 1 ] in
+  let weighted = Capmodel.Covariance.sigma_weighted cov [ (0, 1.); (1, 1.) ] in
+  check_float "weighted = subset with unit weights" subset weighted
+
+let test_sigma_weighted_difference_smaller () =
+  (* correlated capacitors: the difference has less variance than the sum *)
+  let cov = Capmodel.Covariance.build tech square_positions in
+  let sum = Capmodel.Covariance.sigma_weighted cov [ (0, 1.); (1, 1.) ] in
+  let diff = Capmodel.Covariance.sigma_weighted cov [ (0, 1.); (1, -1.) ] in
+  Alcotest.(check bool) "diff < sum" true (diff < sum)
+
+let test_covariance_bad_index () =
+  let cov = Capmodel.Covariance.build tech square_positions in
+  Alcotest.check_raises "index"
+    (Invalid_argument "Covariance: capacitor index out of range")
+    (fun () -> ignore (Capmodel.Covariance.variance cov 5))
+
+(* --- properties --- *)
+
+let coord = QCheck.Gen.float_range (-30.) 30.
+
+let positions_arb =
+  (* 2-4 capacitors with 1-6 cells each *)
+  let open QCheck.Gen in
+  let cell = pair coord coord in
+  let capacitor = list_size (int_range 1 6) cell in
+  let gen = list_size (int_range 2 4) capacitor in
+  QCheck.make gen
+
+let to_positions caps =
+  Array.of_list
+    (List.map (fun cells ->
+         Array.of_list (List.map (fun (x, y) -> point ~x ~y) cells))
+       caps)
+
+let prop_correlation_in_range =
+  QCheck.Test.make ~name:"rho in (0,1]" ~count:300
+    QCheck.(pair (pair (float_range (-50.) 50.) (float_range (-50.) 50.))
+              (pair (float_range (-50.) 50.) (float_range (-50.) 50.)))
+    (fun ((ax, ay), (bx, by)) ->
+       let r =
+         Capmodel.Mismatch.correlation tech (point ~x:ax ~y:ay) (point ~x:bx ~y:by)
+       in
+       r > 0. && r <= 1. +. 1e-12)
+
+let prop_subset_sigma_nonneg =
+  QCheck.Test.make ~name:"sigma of any subset >= 0" ~count:100 positions_arb
+    (fun caps ->
+       let positions = to_positions caps in
+       let cov = Capmodel.Covariance.build tech positions in
+       let n = Capmodel.Covariance.size cov in
+       let all = List.init n (fun i -> i) in
+       Capmodel.Covariance.sigma_of_subset cov all >= 0.)
+
+let prop_weighted_sigma_nonneg =
+  QCheck.Test.make ~name:"weighted sigma >= 0 (PSD-ish)" ~count:100
+    (QCheck.pair positions_arb (QCheck.list_of_size (QCheck.Gen.return 4)
+                                  (QCheck.float_range (-2.) 2.)))
+    (fun (caps, ws) ->
+       let positions = to_positions caps in
+       let cov = Capmodel.Covariance.build tech positions in
+       let n = Capmodel.Covariance.size cov in
+       let weights =
+         List.filteri (fun i _ -> i < n) ws |> List.mapi (fun i w -> (i, w))
+       in
+       Capmodel.Covariance.sigma_weighted cov weights >= 0.)
+
+let () =
+  Alcotest.run "capmodel"
+    [ ( "gradient",
+        [ Alcotest.test_case "origin" `Quick test_gradient_at_origin;
+          Alcotest.test_case "zero gradient" `Quick test_gradient_zero_everywhere;
+          Alcotest.test_case "direction" `Quick test_gradient_direction;
+          Alcotest.test_case "orthogonal" `Quick test_gradient_orthogonal_invisible;
+          Alcotest.test_case "mirror cancels" `Quick test_gradient_mirror_pair_nearly_cancels;
+          Alcotest.test_case "value sums" `Quick test_gradient_capacitor_value_sums;
+          Alcotest.test_case "worst theta" `Quick test_worst_theta;
+          Alcotest.test_case "worst theta bad samples" `Quick test_worst_theta_bad_samples ] );
+      ( "correlation",
+        [ Alcotest.test_case "self" `Quick test_correlation_self;
+          Alcotest.test_case "decays" `Quick test_correlation_decays;
+          Alcotest.test_case "at Lc" `Quick test_correlation_at_lc;
+          Alcotest.test_case "pair sums" `Quick test_pair_sums ] );
+      ( "covariance",
+        [ Alcotest.test_case "symmetric" `Quick test_covariance_symmetric;
+          Alcotest.test_case "diag" `Quick test_covariance_diag_is_variance;
+          Alcotest.test_case "Eq. 6" `Quick test_variance_formula;
+          Alcotest.test_case "subset sigma" `Quick test_sigma_of_subset;
+          Alcotest.test_case "weighted = subset" `Quick test_sigma_weighted_matches_subset;
+          Alcotest.test_case "difference < sum" `Quick test_sigma_weighted_difference_smaller;
+          Alcotest.test_case "bad index" `Quick test_covariance_bad_index ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_correlation_in_range;
+            prop_subset_sigma_nonneg;
+            prop_weighted_sigma_nonneg ] ) ]

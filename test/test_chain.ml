@@ -1,0 +1,101 @@
+(* Tests for the daisy-chain routing ablation, including the headline
+   finding: chaining reproduces the paper's prior-work f3dB magnitudes. *)
+
+let tech = Tech.Process.finfet_12nm
+
+let chess8 = Ccplace.Chessboard.place ~bits:8
+let chain8 = Ccroute.Chain.analyze tech chess8
+
+let test_chain_covers_every_cap () =
+  Alcotest.(check int) "per-bit entries" 9
+    (Array.length chain8.Ccroute.Chain.per_bit);
+  Array.iteri
+    (fun k b ->
+       Alcotest.(check int) "cap id" k b.Ccroute.Chain.b_cap;
+       Alcotest.(check bool) "positive delay" true
+         (b.Ccroute.Chain.b_elmore_fs > 0.))
+    chain8.Ccroute.Chain.per_bit
+
+let test_chain_junctions_scale_with_cells () =
+  (* at least one junction per cell (hop + drop) *)
+  Array.iteri
+    (fun k b ->
+       Alcotest.(check bool)
+         (Printf.sprintf "C_%d junctions >= cells" k)
+         true
+         (b.Ccroute.Chain.b_via_junctions >= chess8.Ccgrid.Placement.counts.(k)))
+    chain8.Ccroute.Chain.per_bit
+
+let test_chain_critical_is_argmax () =
+  let worst =
+    Array.fold_left
+      (fun acc b -> Float.max acc b.Ccroute.Chain.b_elmore_fs)
+      0. chain8.Ccroute.Chain.per_bit
+  in
+  Alcotest.(check (float 1e-9)) "critical"
+    worst chain8.Ccroute.Chain.critical_elmore_fs
+
+let test_chain_slower_than_trunk_router () =
+  let trunk = Ccdac.Flow.run ~bits:8 Ccplace.Style.Chessboard in
+  let chain_f = Ccroute.Chain.f3db_mhz chain8 ~bits:8 in
+  Alcotest.(check bool) "trunk router much faster" true
+    (trunk.Ccdac.Flow.f3db_mhz > 5. *. chain_f)
+
+let test_chain_recovers_paper_magnitudes () =
+  (* the paper's Table II [7] row: 434 MHz at 6 bits down to 1.2 MHz at 10
+     bits; the chained model must land within ~3x of those values *)
+  List.iter
+    (fun (bits, paper_mhz) ->
+       let chess = Ccplace.Chessboard.place ~bits in
+       let chain = Ccroute.Chain.analyze tech chess in
+       let ours = Ccroute.Chain.f3db_mhz chain ~bits in
+       let ratio = ours /. paper_mhz in
+       if ratio < 0.33 || ratio > 3. then
+         Alcotest.failf "%d-bit: chained %.1f MHz vs paper %.1f MHz" bits ours
+           paper_mhz)
+    [ (6, 434.); (8, 23.); (10, 1.2) ]
+
+let test_chain_parallel_wires_help () =
+  let p1 = Ccroute.Chain.analyze tech ~p_of_cap:(fun _ -> 1) chess8 in
+  let p2 = Ccroute.Chain.analyze tech ~p_of_cap:(fun _ -> 2) chess8 in
+  Alcotest.(check bool) "p=2 faster" true
+    (p2.Ccroute.Chain.critical_elmore_fs < p1.Ccroute.Chain.critical_elmore_fs)
+
+let test_chain_deterministic () =
+  let a = Ccroute.Chain.analyze tech chess8 in
+  Alcotest.(check (float 1e-12)) "same delay"
+    chain8.Ccroute.Chain.critical_elmore_fs a.Ccroute.Chain.critical_elmore_fs
+
+let test_chain_rejects_bad_p () =
+  Alcotest.(check bool) "p=0" true
+    (try ignore (Ccroute.Chain.analyze tech ~p_of_cap:(fun _ -> 0) chess8); false
+     with Invalid_argument _ -> true)
+
+let prop_chain_any_style =
+  QCheck.Test.make ~name:"chain analyses any placement" ~count:20
+    QCheck.(pair (int_range 2 8) (int_range 0 2))
+    (fun (bits, idx) ->
+       let style =
+         match idx with
+         | 0 -> Ccplace.Style.Spiral
+         | 1 -> Ccplace.Style.Chessboard
+         | _ -> Ccplace.Style.Rowwise
+       in
+       let p = Ccplace.Style.place ~bits style in
+       let c = Ccroute.Chain.analyze tech p in
+       c.Ccroute.Chain.critical_elmore_fs > 0. && c.Ccroute.Chain.total_vias > 0)
+
+let () =
+  Alcotest.run "chain"
+    [ ( "structure",
+        [ Alcotest.test_case "covers caps" `Quick test_chain_covers_every_cap;
+          Alcotest.test_case "junction count" `Quick test_chain_junctions_scale_with_cells;
+          Alcotest.test_case "critical argmax" `Quick test_chain_critical_is_argmax;
+          Alcotest.test_case "deterministic" `Quick test_chain_deterministic;
+          Alcotest.test_case "bad p" `Quick test_chain_rejects_bad_p ] );
+      ( "reproduction",
+        [ Alcotest.test_case "slower than trunk" `Quick test_chain_slower_than_trunk_router;
+          Alcotest.test_case "paper magnitudes" `Slow test_chain_recovers_paper_magnitudes;
+          Alcotest.test_case "parallel wires" `Quick test_chain_parallel_wires_help ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_chain_any_style ] ) ]

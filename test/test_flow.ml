@@ -1,0 +1,183 @@
+(* Tests for the top-level flow, sweeps and reports. *)
+
+let run6 = Ccdac.Flow.run ~bits:6 Ccplace.Style.Spiral
+
+let test_flow_fields_consistent () =
+  Alcotest.(check int) "bits" 6 run6.Ccdac.Flow.bits;
+  Alcotest.(check (float 1e-9)) "inl copied"
+    run6.Ccdac.Flow.nonlinearity.Dacmodel.Nonlinearity.max_abs_inl
+    run6.Ccdac.Flow.max_inl;
+  Alcotest.(check (float 1e-9)) "tau copied"
+    run6.Ccdac.Flow.parasitics.Extract.Parasitics.critical_elmore_fs
+    run6.Ccdac.Flow.tau_fs;
+  Alcotest.(check (float 1e-6)) "f3dB from tau"
+    (Dacmodel.Speed.f3db_mhz ~bits:6 ~tau_fs:run6.Ccdac.Flow.tau_fs)
+    run6.Ccdac.Flow.f3db_mhz;
+  Alcotest.(check bool) "area positive" true (run6.Ccdac.Flow.area > 0.);
+  Alcotest.(check bool) "elapsed recorded" true
+    (run6.Ccdac.Flow.elapsed_place_route_s >= 0.)
+
+let test_flow_critical_bit_in_range () =
+  Alcotest.(check bool) "critical in range" true
+    (run6.Ccdac.Flow.critical_bit >= 0 && run6.Ccdac.Flow.critical_bit <= 6)
+
+let test_default_parallel_policy () =
+  let p_s = Ccdac.Flow.default_parallel ~bits:8 Ccplace.Style.Spiral in
+  let p_c = Ccdac.Flow.default_parallel ~bits:8 Ccplace.Style.Chessboard in
+  Alcotest.(check bool) "spiral MSB parallel" true (p_s 8 > 1);
+  Alcotest.(check int) "spiral LSB single" 1 (p_s 2);
+  Alcotest.(check int) "chessboard single" 1 (p_c 8)
+
+let test_place_route_only () =
+  let layout, elapsed = Ccdac.Flow.place_route ~bits:6 Ccplace.Style.Chessboard in
+  Alcotest.(check bool) "layout produced" true
+    (layout.Ccroute.Layout.width > 0.);
+  Alcotest.(check bool) "fast" true (elapsed < 10.)
+
+let test_custom_tech () =
+  let r = Ccdac.Flow.run ~tech:Tech.Process.bulk_legacy ~bits:6 Ccplace.Style.Spiral in
+  Alcotest.(check bool) "runs on bulk" true (r.Ccdac.Flow.f3db_mhz > 0.)
+
+let test_run_placement_refined () =
+  let placement = Ccplace.Spiral.place ~bits:6 in
+  let refined, _ =
+    Ccplace.Refine.refine Tech.Process.finfet_12nm ~max_swaps:10 placement
+  in
+  let r = Ccdac.Flow.run_placement refined in
+  Alcotest.(check int) "bits" 6 r.Ccdac.Flow.bits;
+  Alcotest.(check bool) "analysed" true (r.Ccdac.Flow.f3db_mhz > 0.)
+
+let test_run_placement_rejects_general_ratios () =
+  let p = Ccplace.General.clustered ~counts:[| 2; 2; 4 |] in
+  Alcotest.(check bool) "non-binary rejected" true
+    (try ignore (Ccdac.Flow.run_placement p); false
+     with Invalid_argument _ -> true)
+
+(* --- sweep --- *)
+
+let test_best_block_is_block () =
+  let r = Ccdac.Sweep.best_block ~bits:6 () in
+  match r.Ccdac.Flow.style with
+  | Ccplace.Style.Block_chess _ -> ()
+  | Ccplace.Style.Spiral | Ccplace.Style.Chessboard | Ccplace.Style.Rowwise ->
+    Alcotest.fail "best_block must return a BC result"
+
+let test_best_block_beats_family_on_f3db () =
+  let best = Ccdac.Sweep.best_block ~bits:6 () in
+  List.iter
+    (fun style ->
+       let r = Ccdac.Flow.run ~bits:6 style in
+       Alcotest.(check bool) "best is max (among acceptable)" true
+         (best.Ccdac.Flow.f3db_mhz >= r.Ccdac.Flow.f3db_mhz -. 1e-9
+          || r.Ccdac.Flow.max_inl > 0.5 || r.Ccdac.Flow.max_dnl > 0.5))
+    (Ccplace.Style.block_family ~bits:6)
+
+let test_row_shape () =
+  let rows = Ccdac.Sweep.row ~bits:6 () in
+  Alcotest.(check int) "four methods" 4 (List.length rows);
+  match List.map (fun r -> Ccplace.Style.label r.Ccdac.Flow.style) rows with
+  | [ "[1]"; "[7]"; "S"; "BC" ] -> ()
+  | labels -> Alcotest.failf "unexpected order: %s" (String.concat "," labels)
+
+let test_parallel_sweep () =
+  let points =
+    Ccdac.Sweep.parallel_sweep ~bits:6 ~style:Ccplace.Style.Spiral [ 1; 2; 4 ]
+  in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  match points with
+  | (1, f1) :: (2, f2) :: (4, f4) :: [] ->
+    Alcotest.(check bool) "k=2 improves" true (f2 > f1);
+    Alcotest.(check bool) "k=4 at least k=2" true (f4 >= f2 *. 0.8)
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* --- report --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let rows6 = [ (6, Ccdac.Sweep.row ~bits:6 ()) ]
+
+let test_report_table1 () =
+  let s = Ccdac.Report.table1 rows6 in
+  Alcotest.(check bool) "header" true (contains s "Table I");
+  Alcotest.(check bool) "methods" true
+    (contains s "[1]" && contains s "[7]" && contains s "S" && contains s "BC")
+
+let test_report_table2 () =
+  let s = Ccdac.Report.table2 rows6 in
+  Alcotest.(check bool) "header" true (contains s "Table II");
+  Alcotest.(check bool) "f3dB column" true (contains s "f3dB")
+
+let test_report_table3 () =
+  let s = Ccdac.Report.table3 [ (6, 0.01, 0.02); (7, 0.03, 0.04) ] in
+  Alcotest.(check bool) "header" true (contains s "Table III");
+  Alcotest.(check bool) "rows" true (contains s "0.0100" && contains s "0.0400")
+
+let test_report_fig6 () =
+  let a = Ccdac.Report.fig6a [ (6, [ (1, 100.); (2, 220.) ]) ] in
+  Alcotest.(check bool) "normalised" true (contains a "k=1:1.00x");
+  Alcotest.(check bool) "factor" true (contains a "k=2:2.20x");
+  let b = Ccdac.Report.fig6b rows6 in
+  Alcotest.(check bool) "spiral is 1.0" true (contains b "S:1.0000")
+
+let test_csv_metrics () =
+  let s = Ccdac.Csv.metrics_rows rows6 in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  (* header + 4 methods *)
+  Alcotest.(check int) "lines" 5 (List.length lines);
+  (match lines with
+   | header :: _ ->
+     Alcotest.(check string) "header" Ccdac.Csv.metrics_header header
+   | [] -> Alcotest.fail "empty csv");
+  List.iter
+    (fun line ->
+       Alcotest.(check int) "field count"
+         (List.length (String.split_on_char ',' Ccdac.Csv.metrics_header))
+         (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_csv_parallel_sweep () =
+  let s = Ccdac.Csv.parallel_sweep_csv [ (6, [ (1, 100.); (2, 250.) ]) ] in
+  Alcotest.(check bool) "header" true (contains s "bits,k,f3db_mhz,improvement");
+  Alcotest.(check bool) "row" true (contains s "6,2,250.000,2.5000")
+
+let test_csv_write () =
+  let path = Filename.temp_file "ccdac" ".csv" in
+  Ccdac.Csv.write ~path "a,b\n1,2\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "a,b" line
+
+let test_report_summary () =
+  let s = Ccdac.Report.summary run6 in
+  Alcotest.(check bool) "style" true (contains s "spiral");
+  Alcotest.(check bool) "f3dB" true (contains s "f3dB")
+
+let () =
+  Alcotest.run "ccdac"
+    [ ( "flow",
+        [ Alcotest.test_case "fields" `Quick test_flow_fields_consistent;
+          Alcotest.test_case "critical bit" `Quick test_flow_critical_bit_in_range;
+          Alcotest.test_case "parallel policy" `Quick test_default_parallel_policy;
+          Alcotest.test_case "place_route" `Quick test_place_route_only;
+          Alcotest.test_case "custom tech" `Quick test_custom_tech;
+          Alcotest.test_case "run_placement refined" `Quick test_run_placement_refined;
+          Alcotest.test_case "run_placement general" `Quick test_run_placement_rejects_general_ratios ] );
+      ( "sweep",
+        [ Alcotest.test_case "best block is BC" `Quick test_best_block_is_block;
+          Alcotest.test_case "best block max" `Quick test_best_block_beats_family_on_f3db;
+          Alcotest.test_case "row shape" `Quick test_row_shape;
+          Alcotest.test_case "parallel sweep" `Quick test_parallel_sweep ] );
+      ( "report",
+        [ Alcotest.test_case "table1" `Quick test_report_table1;
+          Alcotest.test_case "table2" `Quick test_report_table2;
+          Alcotest.test_case "table3" `Quick test_report_table3;
+          Alcotest.test_case "fig6" `Quick test_report_fig6;
+          Alcotest.test_case "csv metrics" `Quick test_csv_metrics;
+          Alcotest.test_case "csv sweep" `Quick test_csv_parallel_sweep;
+          Alcotest.test_case "csv write" `Quick test_csv_write;
+          Alcotest.test_case "summary" `Quick test_report_summary ] ) ]

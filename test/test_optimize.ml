@@ -1,0 +1,84 @@
+(* Tests for yield-driven unit-capacitor sizing. *)
+
+let tech = Tech.Process.finfet_12nm
+
+let test_scale_tech () =
+  let scaled = Ccdac.Optimize.scale_tech tech ~unit_cap:20. in
+  Alcotest.(check (float 1e-9)) "unit cap" 20. scaled.Tech.Process.unit_cap;
+  (* 4x capacitance -> 2x cell side (fixed density) *)
+  Alcotest.(check (float 1e-9)) "cell width"
+    (2. *. tech.Tech.Process.cell_width)
+    scaled.Tech.Process.cell_width;
+  (* relative mismatch halves *)
+  Alcotest.(check (float 1e-12)) "sigma_rel"
+    (Tech.Process.sigma_rel tech /. 2.)
+    (Tech.Process.sigma_rel scaled)
+
+let test_scale_tech_rejects () =
+  Alcotest.(check bool) "non-positive" true
+    (try ignore (Ccdac.Optimize.scale_tech tech ~unit_cap:0.); false
+     with Invalid_argument _ -> true)
+
+let test_evaluate_fields () =
+  let c =
+    Ccdac.Optimize.evaluate ~trials:30 ~bits:6 ~style:Ccplace.Style.Spiral
+      ~unit_cap:5. ()
+  in
+  Alcotest.(check (float 1e-9)) "cu recorded" 5. c.Ccdac.Optimize.unit_cap_ff;
+  Alcotest.(check bool) "area positive" true (c.Ccdac.Optimize.area > 0.);
+  Alcotest.(check bool) "f3dB positive" true (c.Ccdac.Optimize.f3db_mhz > 0.);
+  Alcotest.(check int) "trials" 30
+    c.Ccdac.Optimize.mc.Dacmodel.Montecarlo.trials
+
+let test_bigger_cu_never_hurts_yield () =
+  (* with a deliberately tight bound, yield must not decrease with C_u *)
+  let yield cu =
+    (Ccdac.Optimize.evaluate ~trials:80 ~bound:0.08 ~bits:8
+       ~style:Ccplace.Style.Spiral ~unit_cap:cu ())
+      .Ccdac.Optimize.mc.Dacmodel.Montecarlo.yield
+  in
+  let small = yield 2. and large = yield 50. in
+  Alcotest.(check bool)
+    (Printf.sprintf "yield(2 fF)=%.2f <= yield(50 fF)=%.2f" small large)
+    true (small <= large +. 0.1)
+
+let test_minimum_unit_cap_picks_first_passing () =
+  (* a generous bound: the smallest candidate already passes *)
+  let best, trace =
+    Ccdac.Optimize.minimum_unit_cap ~trials:40 ~bound:5.0 ~target_yield:0.9
+      ~bits:6 ~style:Ccplace.Style.Spiral [ 2.; 5.; 10. ]
+  in
+  (match best with
+   | Some c -> Alcotest.(check (float 1e-9)) "smallest" 2. c.Ccdac.Optimize.unit_cap_ff
+   | None -> Alcotest.fail "expected a passing candidate");
+  Alcotest.(check int) "stopped early" 1 (List.length trace)
+
+let test_minimum_unit_cap_exhausts () =
+  (* an impossible bound: nothing passes, full trace returned *)
+  let best, trace =
+    Ccdac.Optimize.minimum_unit_cap ~trials:30 ~bound:1e-9 ~target_yield:0.99
+      ~bits:6 ~style:Ccplace.Style.Spiral [ 2.; 5. ]
+  in
+  Alcotest.(check bool) "none pass" true (best = None);
+  Alcotest.(check int) "both evaluated" 2 (List.length trace)
+
+let test_minimum_unit_cap_rejects_bad_target () =
+  Alcotest.(check bool) "target out of range" true
+    (try
+       ignore
+         (Ccdac.Optimize.minimum_unit_cap ~target_yield:1.5 ~bits:6
+            ~style:Ccplace.Style.Spiral [ 5. ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "optimize"
+    [ ( "scaling",
+        [ Alcotest.test_case "scale_tech" `Quick test_scale_tech;
+          Alcotest.test_case "rejects" `Quick test_scale_tech_rejects ] );
+      ( "sizing",
+        [ Alcotest.test_case "evaluate" `Quick test_evaluate_fields;
+          Alcotest.test_case "monotone yield" `Slow test_bigger_cu_never_hurts_yield;
+          Alcotest.test_case "first passing" `Quick test_minimum_unit_cap_picks_first_passing;
+          Alcotest.test_case "exhausts" `Quick test_minimum_unit_cap_exhausts;
+          Alcotest.test_case "bad target" `Quick test_minimum_unit_cap_rejects_bad_target ] ) ]

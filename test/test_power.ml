@@ -1,0 +1,106 @@
+(* Tests for the switching-power model. *)
+
+let tech = Tech.Process.finfet_12nm
+let counts6 = Ccgrid.Weights.unit_counts ~bits:6
+let no_wire _ = 0.
+
+let test_load_is_units_plus_wire () =
+  let load =
+    Dacmodel.Power.bottom_plate_load ~tech ~counts:counts6
+      ~wire_cap_of:(fun _ -> 1.5) 6
+  in
+  Alcotest.(check (float 1e-9)) "32 Cu + wire"
+    ((32. *. tech.Tech.Process.unit_cap) +. 1.5)
+    load
+
+let test_load_bad_cap () =
+  Alcotest.(check bool) "bad id" true
+    (try
+       ignore
+         (Dacmodel.Power.bottom_plate_load ~tech ~counts:counts6
+            ~wire_cap_of:no_wire 9);
+       false
+     with Invalid_argument _ -> true)
+
+let test_energy_positive_and_worst_at_msb () =
+  let p =
+    Dacmodel.Power.analyze ~tech ~counts:counts6 ~wire_cap_of:no_wire ~bits:6
+      ~vref:1. ~f3db_mhz:1000.
+  in
+  Alcotest.(check bool) "positive" true (p.Dacmodel.Power.average_energy_fj > 0.);
+  (* the worst transition is the major carry: all bits toggle *)
+  let all_toggle =
+    Array.fold_left
+      (fun acc k -> acc +. (float_of_int counts6.(k) *. tech.Tech.Process.unit_cap))
+      0.
+      (Array.init 6 (fun i -> i + 1))
+  in
+  Alcotest.(check (float 1e-6)) "worst = full toggle" all_toggle
+    p.Dacmodel.Power.worst_energy_fj
+
+let test_energy_scales_with_vref_squared () =
+  let run vref =
+    (Dacmodel.Power.analyze ~tech ~counts:counts6 ~wire_cap_of:no_wire ~bits:6
+       ~vref ~f3db_mhz:100.)
+      .Dacmodel.Power.average_energy_fj
+  in
+  Alcotest.(check (float 1e-6)) "4x at 2x vref" (4. *. run 1.) (run 2.)
+
+let test_power_scales_with_rate () =
+  let run f =
+    (Dacmodel.Power.analyze ~tech ~counts:counts6 ~wire_cap_of:no_wire ~bits:6
+       ~vref:1. ~f3db_mhz:f)
+      .Dacmodel.Power.average_power_nw
+  in
+  Alcotest.(check (float 1e-6)) "linear in f" (10. *. run 100.) (run 1000.)
+
+let test_wire_cap_increases_power () =
+  let run wire_cap_of =
+    (Dacmodel.Power.analyze ~tech ~counts:counts6 ~wire_cap_of ~bits:6 ~vref:1.
+       ~f3db_mhz:100.)
+      .Dacmodel.Power.average_energy_fj
+  in
+  Alcotest.(check bool) "wire cap costs energy" true
+    (run (fun _ -> 2.) > run no_wire)
+
+(* end-to-end: the chessboard's heavy routing must cost more switching
+   energy than the spiral's, at the same DAC *)
+let test_chessboard_burns_more () =
+  let energy style =
+    let r = Ccdac.Flow.run ~bits:8 style in
+    let wire_cap_of k =
+      r.Ccdac.Flow.parasitics.Extract.Parasitics.per_bit.(k)
+        .Extract.Parasitics.bm_wire_cap
+    in
+    (Dacmodel.Power.analyze ~tech
+       ~counts:r.Ccdac.Flow.placement.Ccgrid.Placement.counts ~wire_cap_of
+       ~bits:8 ~vref:1. ~f3db_mhz:100.)
+      .Dacmodel.Power.average_energy_fj
+  in
+  Alcotest.(check bool) "chessboard > spiral" true
+    (energy Ccplace.Style.Chessboard > energy Ccplace.Style.Spiral)
+
+let prop_average_below_worst =
+  QCheck.Test.make ~name:"average <= worst" ~count:30
+    QCheck.(int_range 2 10)
+    (fun bits ->
+       let counts = Ccgrid.Weights.unit_counts ~bits in
+       let p =
+         Dacmodel.Power.analyze ~tech ~counts ~wire_cap_of:no_wire ~bits
+           ~vref:1. ~f3db_mhz:50.
+       in
+       p.Dacmodel.Power.average_energy_fj
+       <= p.Dacmodel.Power.worst_energy_fj +. 1e-9)
+
+let () =
+  Alcotest.run "power"
+    [ ( "model",
+        [ Alcotest.test_case "load" `Quick test_load_is_units_plus_wire;
+          Alcotest.test_case "bad cap" `Quick test_load_bad_cap;
+          Alcotest.test_case "worst transition" `Quick test_energy_positive_and_worst_at_msb;
+          Alcotest.test_case "vref^2" `Quick test_energy_scales_with_vref_squared;
+          Alcotest.test_case "rate" `Quick test_power_scales_with_rate;
+          Alcotest.test_case "wire cap" `Quick test_wire_cap_increases_power;
+          Alcotest.test_case "chessboard burns more" `Quick test_chessboard_burns_more ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_average_below_worst ] ) ]

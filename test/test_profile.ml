@@ -1,0 +1,126 @@
+(* Tests for generalised variation profiles (linear / quadratic / saddle)
+   and the curvature ablation: common-centroid symmetry cancels linear
+   gradients but not curvature — only dispersion fights the latter. *)
+
+let tech = Tech.Process.finfet_12nm
+let point ~x ~y = Geom.Point.make ~x ~y
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_linear_matches_gradient_module () =
+  let profile = Capmodel.Profile.of_tech tech in
+  let ps = [| point ~x:3. ~y:(-7.); point ~x:(-1.) ~y:4. |] in
+  check_float "same shift"
+    (Capmodel.Gradient.systematic_shift tech ps)
+    (Capmodel.Profile.systematic_shift tech profile ps)
+
+let test_quadratic_zero_at_center () =
+  let c = point ~x:2. ~y:3. in
+  let profile = Capmodel.Profile.quadratic ~ppm_per_um2:100. ~center:c in
+  check_float "zero at centre" 0. (Capmodel.Profile.deviation profile c);
+  Alcotest.(check bool) "grows outward" true
+    (Capmodel.Profile.deviation profile (point ~x:10. ~y:3.) > 0.)
+
+let test_quadratic_radially_symmetric () =
+  let profile =
+    Capmodel.Profile.quadratic ~ppm_per_um2:50. ~center:Geom.Point.origin
+  in
+  check_float "radial"
+    (Capmodel.Profile.deviation profile (point ~x:3. ~y:4.))
+    (Capmodel.Profile.deviation profile (point ~x:5. ~y:0.))
+
+let test_saddle_signs () =
+  let profile = Capmodel.Profile.saddle ~ppm_per_um2:100. in
+  Alcotest.(check bool) "positive on x axis" true
+    (Capmodel.Profile.deviation profile (point ~x:5. ~y:0.) > 0.);
+  Alcotest.(check bool) "negative on y axis" true
+    (Capmodel.Profile.deviation profile (point ~x:0. ~y:5.) < 0.);
+  check_float "zero on diagonal" 0.
+    (Capmodel.Profile.deviation profile (point ~x:3. ~y:3.))
+
+let test_combine_sums () =
+  let a = Capmodel.Profile.custom (fun _ -> 1e-6) in
+  let b = Capmodel.Profile.custom (fun _ -> 2e-6) in
+  check_float "sum" 3e-6
+    (Capmodel.Profile.deviation (Capmodel.Profile.combine [ a; b ])
+       Geom.Point.origin)
+
+let test_unit_value_inverse_thickness () =
+  let profile = Capmodel.Profile.custom (fun _ -> 0.01) in
+  check_float "Cu / 1.01" (tech.Tech.Process.unit_cap /. 1.01)
+    (Capmodel.Profile.unit_value tech profile Geom.Point.origin)
+
+(* the physics: a centred mirror pair cancels a linear profile to first
+   order but adds up under a centred quadratic profile *)
+let test_mirror_pair_cancellation () =
+  let p = point ~x:6. ~y:2. in
+  let pair = [| p; Geom.Point.neg p |] in
+  let lin =
+    Capmodel.Profile.linear ~ppm_per_um:100. ~theta:(Float.pi /. 7.)
+  in
+  let quad =
+    Capmodel.Profile.quadratic ~ppm_per_um2:100. ~center:Geom.Point.origin
+  in
+  let lin_shift =
+    Float.abs (Capmodel.Profile.systematic_shift tech lin pair)
+  in
+  let quad_shift =
+    Float.abs (Capmodel.Profile.systematic_shift tech quad pair)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "quad residue %.2e >> linear residue %.2e" quad_shift
+       lin_shift)
+    true
+    (quad_shift > 50. *. lin_shift)
+
+(* the ablation: under curvature, the dispersed chessboard keeps much
+   better systematic INL than the clustered spiral (with the linear
+   gradient both are near-perfect, the paper's regime) *)
+let test_curvature_favours_dispersion () =
+  let no_random = { tech with Tech.Process.mismatch_coeff = 0. } in
+  let bowl =
+    Capmodel.Profile.quadratic ~ppm_per_um2:200. ~center:Geom.Point.origin
+  in
+  let inl style =
+    let p = Ccplace.Style.place ~bits:8 style in
+    (Dacmodel.Nonlinearity.analyze no_random ~profile:bowl p)
+      .Dacmodel.Nonlinearity.max_abs_inl
+  in
+  let spiral = inl Ccplace.Style.Spiral in
+  let chess = inl Ccplace.Style.Chessboard in
+  Alcotest.(check bool)
+    (Printf.sprintf "chessboard %.4f < spiral %.4f under bowl" chess spiral)
+    true (chess < spiral);
+  (* and the linear gradient is cancelled by both (paper regime) *)
+  let linear_inl style =
+    let p = Ccplace.Style.place ~bits:8 style in
+    (Dacmodel.Nonlinearity.analyze no_random p).Dacmodel.Nonlinearity.max_abs_inl
+  in
+  Alcotest.(check bool) "linear regime near-perfect" true
+    (linear_inl Ccplace.Style.Spiral < 1e-3)
+
+let prop_linear_profile_antisymmetric =
+  QCheck.Test.make ~name:"linear profile is odd" ~count:100
+    QCheck.(triple (float_range (-20.) 20.) (float_range (-20.) 20.)
+              (float_range 0. 3.))
+    (fun (x, y, theta) ->
+       let profile = Capmodel.Profile.linear ~ppm_per_um:10. ~theta in
+       let p = point ~x ~y in
+       Float.abs
+         (Capmodel.Profile.deviation profile p
+          +. Capmodel.Profile.deviation profile (Geom.Point.neg p))
+       < 1e-12)
+
+let () =
+  Alcotest.run "profile"
+    [ ( "profiles",
+        [ Alcotest.test_case "linear = gradient" `Quick test_linear_matches_gradient_module;
+          Alcotest.test_case "quadratic centre" `Quick test_quadratic_zero_at_center;
+          Alcotest.test_case "quadratic radial" `Quick test_quadratic_radially_symmetric;
+          Alcotest.test_case "saddle" `Quick test_saddle_signs;
+          Alcotest.test_case "combine" `Quick test_combine_sums;
+          Alcotest.test_case "unit value" `Quick test_unit_value_inverse_thickness ] );
+      ( "physics",
+        [ Alcotest.test_case "mirror cancellation" `Quick test_mirror_pair_cancellation;
+          Alcotest.test_case "curvature vs dispersion" `Quick test_curvature_favours_dispersion ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_linear_profile_antisymmetric ] ) ]

@@ -1,0 +1,112 @@
+(* Tests for the mirror-pair swap refinement pass. *)
+
+let tech = Tech.Process.finfet_12nm
+let spiral8 = Ccplace.Spiral.place ~bits:8
+
+let refined8 = lazy (Ccplace.Refine.refine tech spiral8)
+
+let test_refine_valid () =
+  let refined, _ = Lazy.force refined8 in
+  match Ccgrid.Placement.validate refined with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_refine_preserves_cc () =
+  let refined, _ = Lazy.force refined8 in
+  Alcotest.(check (float 1e-9)) "exact CC" 0.
+    (Ccgrid.Placement.max_centroid_error tech refined)
+
+let test_refine_preserves_counts () =
+  let refined, _ = Lazy.force refined8 in
+  Alcotest.(check bool) "same counts" true
+    (refined.Ccgrid.Placement.counts = spiral8.Ccgrid.Placement.counts)
+
+let test_refine_reduces_energy () =
+  let refined, stats = Lazy.force refined8 in
+  Alcotest.(check bool) "energy decreased" true
+    (stats.Ccplace.Refine.final_energy < stats.Ccplace.Refine.initial_energy);
+  Alcotest.(check (float 1e-6)) "final energy matches placement"
+    stats.Ccplace.Refine.final_energy
+    (Ccplace.Refine.energy tech refined);
+  Alcotest.(check (float 1e-6)) "initial energy matches input"
+    stats.Ccplace.Refine.initial_energy
+    (Ccplace.Refine.energy tech spiral8)
+
+let test_refine_improves_dnl () =
+  let refined, _ = Lazy.force refined8 in
+  let dnl p =
+    (Dacmodel.Nonlinearity.analyze tech p).Dacmodel.Nonlinearity.max_abs_dnl
+  in
+  Alcotest.(check bool) "DNL improves" true (dnl refined < dnl spiral8)
+
+let test_refine_converges_to_fixpoint () =
+  (* run to convergence (a pass with no accepted swap), then re-refining
+     must be the identity *)
+  let converged, _ = Ccplace.Refine.refine tech ~max_passes:50 spiral8 in
+  let again, stats = Ccplace.Refine.refine tech converged in
+  Alcotest.(check int) "no further swaps" 0 stats.Ccplace.Refine.swaps;
+  Alcotest.(check bool) "placement unchanged" true
+    (again.Ccgrid.Placement.assign = converged.Ccgrid.Placement.assign)
+
+let test_refine_swap_budget () =
+  let _, stats = Ccplace.Refine.refine tech ~max_swaps:5 spiral8 in
+  Alcotest.(check bool) "budget respected" true
+    (stats.Ccplace.Refine.swaps <= 5)
+
+let test_refine_zero_budget_identity () =
+  let refined, stats = Ccplace.Refine.refine tech ~max_swaps:0 spiral8 in
+  Alcotest.(check int) "no swaps" 0 stats.Ccplace.Refine.swaps;
+  Alcotest.(check bool) "identity" true
+    (refined.Ccgrid.Placement.assign = spiral8.Ccgrid.Placement.assign)
+
+let test_refine_chessboard_near_fixpoint () =
+  (* the chessboard is (close to) the dispersion optimum: refinement finds
+     almost nothing to improve *)
+  let chess = Ccplace.Chessboard.place ~bits:6 in
+  let _, stats = Ccplace.Refine.refine tech chess in
+  Alcotest.(check bool)
+    (Printf.sprintf "few swaps (%d)" stats.Ccplace.Refine.swaps)
+    true
+    (stats.Ccplace.Refine.swaps < 8)
+
+let test_refined_layout_routes_clean () =
+  let refined, _ = Lazy.force refined8 in
+  let layout = Ccroute.Layout.route tech refined in
+  Alcotest.(check int) "clean" 0 (List.length (Ccroute.Check.run layout))
+
+let test_refine_rejects_bad_args () =
+  Alcotest.(check bool) "negative passes" true
+    (try ignore (Ccplace.Refine.refine tech ~max_passes:(-1) spiral8); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative swaps" true
+    (try ignore (Ccplace.Refine.refine tech ~max_swaps:(-1) spiral8); false
+     with Invalid_argument _ -> true)
+
+let prop_refine_energy_monotone_in_budget =
+  QCheck.Test.make ~name:"more budget, no worse energy" ~count:8
+    QCheck.(pair (int_range 0 10) (int_range 3 6))
+    (fun (budget, bits) ->
+       let p = Ccplace.Spiral.place ~bits in
+       let _, small = Ccplace.Refine.refine tech ~max_swaps:budget p in
+       let _, large = Ccplace.Refine.refine tech ~max_swaps:(budget + 10) p in
+       large.Ccplace.Refine.final_energy
+       <= small.Ccplace.Refine.final_energy +. 1e-9)
+
+let () =
+  Alcotest.run "refine"
+    [ ( "invariants",
+        [ Alcotest.test_case "valid" `Quick test_refine_valid;
+          Alcotest.test_case "common centroid" `Quick test_refine_preserves_cc;
+          Alcotest.test_case "counts" `Quick test_refine_preserves_counts;
+          Alcotest.test_case "routes clean" `Quick test_refined_layout_routes_clean;
+          Alcotest.test_case "bad args" `Quick test_refine_rejects_bad_args ] );
+      ( "optimisation",
+        [ Alcotest.test_case "reduces energy" `Quick test_refine_reduces_energy;
+          Alcotest.test_case "improves DNL" `Quick test_refine_improves_dnl;
+          Alcotest.test_case "fixpoint" `Quick test_refine_converges_to_fixpoint;
+          Alcotest.test_case "swap budget" `Quick test_refine_swap_budget;
+          Alcotest.test_case "zero budget" `Quick test_refine_zero_budget_identity;
+          Alcotest.test_case "chessboard near-optimal" `Quick test_refine_chessboard_near_fixpoint ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_refine_energy_monotone_in_budget ] ) ]

@@ -1,0 +1,107 @@
+(* Regression pins: the constructive algorithms are deterministic, so key
+   structural facts of canonical layouts are pinned exactly.  A failure
+   here means the placement or router behaviour changed — update the pins
+   deliberately if the change is intended. *)
+
+let tech = Tech.Process.finfet_12nm
+
+let spiral6 = lazy (Ccroute.Layout.route tech (Ccplace.Spiral.place ~bits:6))
+
+let test_spiral6_group_structure () =
+  let layout = Lazy.force spiral6 in
+  let groups_of k =
+    List.length (Ccroute.Layout.net layout k).Ccroute.Layout.cn_groups
+  in
+  (* C_6 is the periphery: one connected component; C_2 is the innermost
+     mirrored pair: two singletons *)
+  Alcotest.(check int) "C_6 one group" 1 (groups_of 6);
+  Alcotest.(check int) "C_2 two groups" 2 (groups_of 2);
+  Alcotest.(check int) "total groups" 11
+    (List.length layout.Ccroute.Layout.groups)
+
+let test_spiral6_trunks () =
+  let layout = Lazy.force spiral6 in
+  Array.iter
+    (fun (net : Ccroute.Layout.capnet) ->
+       let trunks = List.length net.Ccroute.Layout.cn_trunks in
+       if net.Ccroute.Layout.cn_cap = 6 then
+         Alcotest.(check int) "C_6 single short trunk" 1 trunks
+       else
+         Alcotest.(check bool) "at most 2 trunks" true (trunks <= 2))
+    layout.Ccroute.Layout.nets
+
+let test_spiral6_via_budget () =
+  (* the headline: spiral via cuts stay in the paper's tens, not hundreds *)
+  let layout =
+    Ccroute.Layout.route tech
+      ~p_of_cap:(Ccroute.Layout.msb_parallel ~bits:6 ~p:2)
+      (Ccplace.Spiral.place ~bits:6)
+  in
+  let par = Extract.Parasitics.extract layout in
+  Alcotest.(check int) "via cuts pinned" 62 par.Extract.Parasitics.total_via_cuts
+
+let test_chessboard8_track_usage () =
+  let layout = Ccroute.Layout.route tech (Ccplace.Chessboard.place ~bits:8) in
+  let plan = layout.Ccroute.Layout.plan in
+  Alcotest.(check int) "max tracks per channel" 4
+    (Array.fold_left Int.max 0 plan.Ccroute.Plan.tracks_per_channel)
+
+let test_placement_fingerprints () =
+  (* cheap whole-placement fingerprint: sum over cells of id * position *)
+  let fingerprint p =
+    let acc = ref 0 in
+    Array.iteri
+      (fun r row ->
+         Array.iteri
+           (fun c id -> acc := !acc + ((id + 2) * ((r * 131) + c)))
+           row)
+      p.Ccgrid.Placement.assign;
+    !acc
+  in
+  Alcotest.(check int) "spiral 8" 2281884
+    (fingerprint (Ccplace.Spiral.place ~bits:8));
+  Alcotest.(check int) "chessboard 8" 2282809
+    (fingerprint (Ccplace.Chessboard.place ~bits:8));
+  Alcotest.(check int) "rowwise 8" 2281099
+    (fingerprint (Ccplace.Rowwise.place ~bits:8))
+
+let test_pipeline_determinism_through_serialisation () =
+  (* save -> load -> route must reproduce the exact parasitics *)
+  let p = Ccplace.Block_chess.place ~bits:7 ~granularity:4 () in
+  let direct = Extract.Parasitics.extract (Ccroute.Layout.route tech p) in
+  match Ccgrid.Serial.of_string (Ccgrid.Serial.to_string p) with
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+  | Ok q ->
+    let reloaded = Extract.Parasitics.extract (Ccroute.Layout.route tech q) in
+    Alcotest.(check (float 1e-9)) "same critical delay"
+      direct.Extract.Parasitics.critical_elmore_fs
+      reloaded.Extract.Parasitics.critical_elmore_fs;
+    Alcotest.(check int) "same vias" direct.Extract.Parasitics.total_via_cuts
+      reloaded.Extract.Parasitics.total_via_cuts;
+    Alcotest.(check (float 1e-9)) "same wirelength"
+      direct.Extract.Parasitics.total_wirelength
+      reloaded.Extract.Parasitics.total_wirelength
+
+let test_frontier_api () =
+  let points = Ccdac.Sweep.frontier ~bits:6 [ 0; 10 ] in
+  match points with
+  | [ (0, base); (10, refined) ] ->
+    Alcotest.(check bool) "refined DNL no worse" true
+      (refined.Ccdac.Flow.max_dnl <= base.Ccdac.Flow.max_dnl +. 1e-9);
+    Alcotest.(check bool) "styled name" true
+      (refined.Ccdac.Flow.placement.Ccgrid.Placement.style_name
+       = "spiral+refined")
+  | _ -> Alcotest.fail "unexpected frontier shape"
+
+let () =
+  Alcotest.run "regression"
+    [ ( "pins",
+        [ Alcotest.test_case "spiral groups" `Quick test_spiral6_group_structure;
+          Alcotest.test_case "spiral trunks" `Quick test_spiral6_trunks;
+          Alcotest.test_case "spiral vias" `Quick test_spiral6_via_budget;
+          Alcotest.test_case "chessboard tracks" `Quick test_chessboard8_track_usage;
+          Alcotest.test_case "fingerprints" `Quick test_placement_fingerprints ] );
+      ( "pipeline",
+        [ Alcotest.test_case "serialise determinism" `Quick
+            test_pipeline_determinism_through_serialisation;
+          Alcotest.test_case "frontier API" `Quick test_frontier_api ] ) ]

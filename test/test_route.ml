@@ -1,0 +1,395 @@
+(* Tests for group formation, Algorithm 1 and the routed layout. *)
+
+let tech = Tech.Process.finfet_12nm
+
+let spiral6 = Ccplace.Spiral.place ~bits:6
+let chess6 = Ccplace.Chessboard.place ~bits:6
+
+(* --- groups --- *)
+
+let test_groups_partition_cells () =
+  List.iter
+    (fun p ->
+       let groups = Ccroute.Group.of_placement p in
+       for k = 0 to p.Ccgrid.Placement.bits do
+         let group_cells =
+           List.concat_map
+             (fun g -> g.Ccroute.Group.cells)
+             (Ccroute.Group.of_cap groups k)
+         in
+         Alcotest.(check int)
+           (Printf.sprintf "C_%d partitioned" k)
+           p.Ccgrid.Placement.counts.(k)
+           (List.length (List.sort_uniq Ccgrid.Cell.compare group_cells))
+       done)
+    [ spiral6; chess6 ]
+
+let test_groups_are_connected () =
+  let groups = Ccroute.Group.of_placement ~mode:Ccroute.Group.Connected spiral6 in
+  List.iter
+    (fun (g : Ccroute.Group.t) ->
+       (* tree edges span the group: |E| = |V| - 1 *)
+       Alcotest.(check int) "tree edges"
+         (List.length g.Ccroute.Group.cells - 1)
+         (List.length g.Ccroute.Group.tree_edges);
+       List.iter
+         (fun (a, b) ->
+            Alcotest.(check bool) "edges adjacent" true (Ccgrid.Cell.adjacent a b))
+         g.Ccroute.Group.tree_edges)
+    groups
+
+let test_chessboard_groups_are_singletons () =
+  let groups = Ccroute.Group.of_placement chess6 in
+  List.iter
+    (fun (g : Ccroute.Group.t) ->
+       if g.Ccroute.Group.cap = 6 then
+         Alcotest.(check int) "singleton" 1 (Ccroute.Group.size g))
+    groups
+
+let test_group_spans () =
+  let groups = Ccroute.Group.of_placement spiral6 in
+  List.iter
+    (fun (g : Ccroute.Group.t) ->
+       List.iter
+         (fun (c : Ccgrid.Cell.t) ->
+            Alcotest.(check bool) "col in span" true
+              (c.Ccgrid.Cell.col >= g.Ccroute.Group.col_lo
+               && c.Ccgrid.Cell.col <= g.Ccroute.Group.col_hi);
+            Alcotest.(check bool) "row in span" true
+              (c.Ccgrid.Cell.row >= g.Ccroute.Group.row_lo
+               && c.Ccgrid.Cell.row <= g.Ccroute.Group.row_hi))
+         g.Ccroute.Group.cells)
+    groups
+
+let test_straight_runs_are_straight () =
+  let groups =
+    Ccroute.Group.of_placement ~mode:Ccroute.Group.Straight_runs spiral6
+  in
+  List.iter
+    (fun (g : Ccroute.Group.t) ->
+       let same_row =
+         g.Ccroute.Group.row_lo = g.Ccroute.Group.row_hi
+       and same_col = g.Ccroute.Group.col_lo = g.Ccroute.Group.col_hi in
+       Alcotest.(check bool) "row or column" true (same_row || same_col))
+    groups
+
+let test_closest_cells () =
+  let mk cap id cells =
+    { Ccroute.Group.cap; id; cells;
+      tree_edges = [];
+      col_lo = List.fold_left (fun a (c : Ccgrid.Cell.t) -> Int.min a c.Ccgrid.Cell.col) max_int cells;
+      col_hi = List.fold_left (fun a (c : Ccgrid.Cell.t) -> Int.max a c.Ccgrid.Cell.col) min_int cells;
+      row_lo = List.fold_left (fun a (c : Ccgrid.Cell.t) -> Int.min a c.Ccgrid.Cell.row) max_int cells;
+      row_hi = List.fold_left (fun a (c : Ccgrid.Cell.t) -> Int.max a c.Ccgrid.Cell.row) min_int cells }
+  in
+  let a =
+    mk 3 0 [ Ccgrid.Cell.make ~row:0 ~col:0; Ccgrid.Cell.make ~row:5 ~col:3 ]
+  in
+  let b =
+    mk 3 1 [ Ccgrid.Cell.make ~row:5 ~col:4; Ccgrid.Cell.make ~row:9 ~col:9 ]
+  in
+  let ua, ub = Ccroute.Group.closest_cells a b in
+  Alcotest.(check bool) "closest pair" true
+    (Ccgrid.Cell.equal ua (Ccgrid.Cell.make ~row:5 ~col:3)
+     && Ccgrid.Cell.equal ub (Ccgrid.Cell.make ~row:5 ~col:4))
+
+let test_col_span_overlap () =
+  let mk lo hi =
+    { Ccroute.Group.cap = 0; id = 0; cells = []; tree_edges = [];
+      col_lo = lo; col_hi = hi; row_lo = 0; row_hi = 0 }
+  in
+  Alcotest.(check bool) "overlap" true
+    (Ccroute.Group.col_span_overlap (mk 0 3) (mk 2 5));
+  Alcotest.(check bool) "disjoint" false
+    (Ccroute.Group.col_span_overlap (mk 0 1) (mk 3 5));
+  Alcotest.(check bool) "touching" true
+    (Ccroute.Group.col_span_overlap (mk 0 2) (mk 2 4))
+
+(* --- plan (Algorithm 1) --- *)
+
+let plan_of p =
+  let groups = Ccroute.Group.of_placement p in
+  (groups, Ccroute.Plan.make p groups)
+
+let test_every_group_routed () =
+  List.iter
+    (fun p ->
+       let groups, plan = plan_of p in
+       Alcotest.(check int) "one route per group" (List.length groups)
+         (List.length plan.Ccroute.Plan.routes))
+    [ spiral6; chess6; Ccplace.Rowwise.place ~bits:8 ]
+
+let test_tracks_count_distinct_caps () =
+  let _, plan = plan_of chess6 in
+  Array.iteri
+    (fun ch caps ->
+       Alcotest.(check int)
+         (Printf.sprintf "channel %d" ch)
+         plan.Ccroute.Plan.tracks_per_channel.(ch)
+         (Array.length caps);
+       (* one track per capacitor: ids are unique in a channel *)
+       let sorted = Array.to_list caps in
+       Alcotest.(check int) "unique caps"
+         (List.length (List.sort_uniq Int.compare sorted))
+         (List.length sorted))
+    plan.Ccroute.Plan.track_caps
+
+let test_track_indices_dense () =
+  let _, plan = plan_of spiral6 in
+  List.iter
+    (fun (r : Ccroute.Plan.route) ->
+       Alcotest.(check bool) "track in range" true
+         (r.Ccroute.Plan.track >= 0
+          && r.Ccroute.Plan.track
+             < plan.Ccroute.Plan.tracks_per_channel.(r.Ccroute.Plan.channel)))
+    plan.Ccroute.Plan.routes
+
+let test_same_cap_same_channel_same_track () =
+  let _, plan = plan_of chess6 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ccroute.Plan.route) ->
+       let key = (r.Ccroute.Plan.channel, r.Ccroute.Plan.group.Ccroute.Group.cap) in
+       match Hashtbl.find_opt seen key with
+       | Some track -> Alcotest.(check int) "shared track" track r.Ccroute.Plan.track
+       | None -> Hashtbl.add seen key r.Ccroute.Plan.track)
+    plan.Ccroute.Plan.routes
+
+let test_attach_is_group_member () =
+  List.iter
+    (fun p ->
+       let _, plan = plan_of p in
+       List.iter
+         (fun (r : Ccroute.Plan.route) ->
+            Alcotest.(check bool) "attach in group" true
+              (List.exists
+                 (Ccgrid.Cell.equal r.Ccroute.Plan.attach)
+                 r.Ccroute.Plan.group.Ccroute.Group.cells))
+         plan.Ccroute.Plan.routes)
+    [ spiral6; chess6 ]
+
+let test_channel_in_range () =
+  let _, plan = plan_of chess6 in
+  List.iter
+    (fun (r : Ccroute.Plan.route) ->
+       Alcotest.(check bool) "channel in range" true
+         (r.Ccroute.Plan.channel >= 0
+          && r.Ccroute.Plan.channel <= chess6.Ccgrid.Placement.cols))
+    plan.Ccroute.Plan.routes
+
+(* --- layout --- *)
+
+let layout6 = Ccroute.Layout.route tech spiral6
+let layout_chess = Ccroute.Layout.route tech chess6
+
+let test_layout_geometry_monotone () =
+  let xs = Array.to_list layout6.Ccroute.Layout.col_x in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "col_x increasing" true (increasing xs);
+  Alcotest.(check bool) "row_y increasing" true
+    (increasing (Array.to_list layout6.Ccroute.Layout.row_y));
+  Alcotest.(check bool) "positive size" true
+    (layout6.Ccroute.Layout.width > 0. && layout6.Ccroute.Layout.height > 0.)
+
+let test_layout_every_cap_has_net () =
+  for k = 0 to 6 do
+    let net = Ccroute.Layout.net layout6 k in
+    Alcotest.(check bool) "has trunks" true (net.Ccroute.Layout.cn_trunks <> []);
+    Alcotest.(check int) "cap id" k net.Ccroute.Layout.cn_cap
+  done
+
+let test_layout_one_primary_trunk_per_net () =
+  Array.iter
+    (fun (net : Ccroute.Layout.capnet) ->
+       Alcotest.(check int) "one primary" 1
+         (List.length
+            (List.filter (fun t -> t.Ccroute.Layout.tk_primary)
+               net.Ccroute.Layout.cn_trunks)))
+    layout6.Ccroute.Layout.nets
+
+let test_layout_bridge_iff_multiple_trunks () =
+  Array.iter
+    (fun (net : Ccroute.Layout.capnet) ->
+       let trunks = List.length net.Ccroute.Layout.cn_trunks in
+       match net.Ccroute.Layout.cn_bridge_y with
+       | Some _ -> Alcotest.(check bool) "bridge => >1 trunk" true (trunks >= 2)
+       | None -> Alcotest.(check bool) "no bridge => 1 trunk" true (trunks = 1))
+    layout_chess.Ccroute.Layout.nets
+
+let test_layout_trunk_extents () =
+  Array.iter
+    (fun (net : Ccroute.Layout.capnet) ->
+       List.iter
+         (fun (tk : Ccroute.Layout.trunk) ->
+            Alcotest.(check bool) "y_low <= y_high" true
+              (tk.Ccroute.Layout.tk_y_low <= tk.Ccroute.Layout.tk_y_high +. 1e-9);
+            List.iter
+              (fun (a : Ccroute.Layout.attach_point) ->
+                 Alcotest.(check bool) "attach on trunk" true
+                   (a.Ccroute.Layout.ap_y >= tk.Ccroute.Layout.tk_y_low -. 1e-9
+                    && a.Ccroute.Layout.ap_y <= tk.Ccroute.Layout.tk_y_high +. 1e-9))
+              tk.Ccroute.Layout.tk_attaches)
+         net.Ccroute.Layout.cn_trunks)
+    layout6.Ccroute.Layout.nets
+
+let test_layout_wires_axis_aligned () =
+  List.iter
+    (fun (w : Ccroute.Layout.wire) ->
+       Alcotest.(check bool) "axis aligned" true
+         (Float.abs (w.Ccroute.Layout.w_ax -. w.Ccroute.Layout.w_bx) < 1e-9
+          || Float.abs (w.Ccroute.Layout.w_ay -. w.Ccroute.Layout.w_by) < 1e-9))
+    (layout6.Ccroute.Layout.wires @ layout6.Ccroute.Layout.top_wires)
+
+let test_layout_parallel_policy () =
+  let p_of = Ccroute.Layout.msb_parallel ~bits:8 ~p:4 in
+  Alcotest.(check int) "MSB" 4 (p_of 8);
+  Alcotest.(check int) "MSB-2" 4 (p_of 6);
+  Alcotest.(check int) "LSB" 1 (p_of 3);
+  let layout =
+    Ccroute.Layout.route tech ~p_of_cap:(Ccroute.Layout.msb_parallel ~bits:6 ~p:2)
+      spiral6
+  in
+  Alcotest.(check int) "p recorded" 2 layout.Ccroute.Layout.p_of_cap.(6);
+  Alcotest.(check int) "p recorded lsb" 1 layout.Ccroute.Layout.p_of_cap.(2)
+
+let test_layout_rejects_bad_parallel () =
+  Alcotest.(check bool) "p=0 rejected" true
+    (try ignore (Ccroute.Layout.route tech ~p_of_cap:(fun _ -> 0) spiral6); false
+     with Invalid_argument _ -> true)
+
+let test_layout_via_positive_p () =
+  List.iter
+    (fun (v : Ccroute.Layout.via) ->
+       Alcotest.(check bool) "p >= 1" true (v.Ccroute.Layout.v_p >= 1))
+    layout6.Ccroute.Layout.vias
+
+let test_layout_top_plate () =
+  Alcotest.(check int) "column runs + connector"
+    (spiral6.Ccgrid.Placement.cols + 1)
+    (List.length layout6.Ccroute.Layout.top_wires);
+  Alcotest.(check bool) "positive length" true
+    (layout6.Ccroute.Layout.top_length > 0.)
+
+let test_layout_channel_widths_match_tracks () =
+  let plan = layout6.Ccroute.Layout.plan in
+  Array.iteri
+    (fun ch width ->
+       if plan.Ccroute.Plan.tracks_per_channel.(ch) = 0 then
+         Alcotest.(check (float 1e-9)) "empty channel" 0. width
+       else
+         Alcotest.(check bool) "used channel has width" true (width > 0.))
+    layout6.Ccroute.Layout.channel_width
+
+let test_spiral_fewer_vias_than_chessboard () =
+  let count (l : Ccroute.Layout.t) =
+    List.fold_left
+      (fun acc (v : Ccroute.Layout.via) ->
+         acc + Tech.Parallel.via_count ~p:v.Ccroute.Layout.v_p)
+      0 l.Ccroute.Layout.vias
+  in
+  let s = Ccroute.Layout.route tech ~p_of_cap:(fun _ -> 1) spiral6 in
+  Alcotest.(check bool) "S fewer vias" true (count s < count layout_chess)
+
+(* --- mst --- *)
+
+let test_mst_triangle () =
+  (* triangle 0-1 (1.0), 1-2 (2.0), 0-2 (10.0): MST picks the two cheap edges *)
+  let edges = [| (0, 1, 1.0); (1, 2, 2.0); (0, 2, 10.0) |] in
+  let tree = Ccroute.Mst.prim ~nodes:3 ~edges in
+  Alcotest.(check int) "two edges" 2 (List.length tree);
+  Alcotest.(check (float 1e-9)) "cost" 3.0 (Ccroute.Mst.cost ~edges tree)
+
+let test_mst_rejects_disconnected () =
+  Alcotest.(check bool) "disconnected" true
+    (try ignore (Ccroute.Mst.prim ~nodes:4 ~edges:[| (0, 1, 1.) |]); false
+     with Invalid_argument _ -> true)
+
+let test_mst_rejects_negative () =
+  Alcotest.(check bool) "negative weight" true
+    (try ignore (Ccroute.Mst.prim ~nodes:2 ~edges:[| (0, 1, -1.) |]); false
+     with Invalid_argument _ -> true)
+
+let test_grid_mst_closed_form () =
+  (* uniform grid with dy < dx: cost = cols (rows-1) dy + sum dx *)
+  let rows = 5 and cols = 4 in
+  let dx = [| 2.; 3.; 2.5 |] and dy = 1. in
+  Alcotest.(check (float 1e-9)) "closed form"
+    ((float_of_int cols *. float_of_int (rows - 1) *. dy) +. 7.5)
+    (Ccroute.Mst.grid_mst_cost ~rows ~cols ~dx ~dy)
+
+(* the paper's claim (Sec. IV-B5): the column-run top-plate construction
+   used by Layout IS the MST of the unit-capacitor adjacency graph *)
+let test_topplate_is_mst () =
+  List.iter
+    (fun (layout : Ccroute.Layout.t) ->
+       let rows = layout.Ccroute.Layout.placement.Ccgrid.Placement.rows in
+       let cols = layout.Ccroute.Layout.placement.Ccgrid.Placement.cols in
+       let dx =
+         Array.init (cols - 1) (fun c ->
+             layout.Ccroute.Layout.col_x.(c + 1) -. layout.Ccroute.Layout.col_x.(c))
+       in
+       let dy = Tech.Process.cell_pitch_y tech in
+       let optimal = Ccroute.Mst.grid_mst_cost ~rows ~cols ~dx ~dy in
+       Alcotest.(check (float 1e-6)) "top plate length = MST cost" optimal
+         layout.Ccroute.Layout.top_length)
+    [ layout6; layout_chess ]
+
+let prop_route_any_placement =
+  QCheck.Test.make ~name:"routing succeeds on random config" ~count:40
+    QCheck.(pair (int_range 2 9) (int_range 0 3))
+    (fun (bits, idx) ->
+       let style =
+         match idx with
+         | 0 -> Ccplace.Style.Spiral
+         | 1 -> Ccplace.Style.Chessboard
+         | 2 -> Ccplace.Style.Rowwise
+         | _ -> Ccplace.Style.block_default ~bits
+       in
+       let p = Ccplace.Style.place ~bits style in
+       let layout = Ccroute.Layout.route tech p in
+       Array.for_all
+         (fun (net : Ccroute.Layout.capnet) ->
+            net.Ccroute.Layout.cn_trunks <> [])
+         layout.Ccroute.Layout.nets)
+
+let () =
+  Alcotest.run "ccroute"
+    [ ( "groups",
+        [ Alcotest.test_case "partition" `Quick test_groups_partition_cells;
+          Alcotest.test_case "connected trees" `Quick test_groups_are_connected;
+          Alcotest.test_case "chessboard singletons" `Quick test_chessboard_groups_are_singletons;
+          Alcotest.test_case "spans" `Quick test_group_spans;
+          Alcotest.test_case "straight runs" `Quick test_straight_runs_are_straight;
+          Alcotest.test_case "closest cells" `Quick test_closest_cells;
+          Alcotest.test_case "span overlap" `Quick test_col_span_overlap ] );
+      ( "plan",
+        [ Alcotest.test_case "all groups routed" `Quick test_every_group_routed;
+          Alcotest.test_case "tracks = caps" `Quick test_tracks_count_distinct_caps;
+          Alcotest.test_case "track indices" `Quick test_track_indices_dense;
+          Alcotest.test_case "shared tracks" `Quick test_same_cap_same_channel_same_track;
+          Alcotest.test_case "attach member" `Quick test_attach_is_group_member;
+          Alcotest.test_case "channel range" `Quick test_channel_in_range ] );
+      ( "layout",
+        [ Alcotest.test_case "geometry monotone" `Quick test_layout_geometry_monotone;
+          Alcotest.test_case "every net routed" `Quick test_layout_every_cap_has_net;
+          Alcotest.test_case "one primary" `Quick test_layout_one_primary_trunk_per_net;
+          Alcotest.test_case "bridge iff trunks" `Quick test_layout_bridge_iff_multiple_trunks;
+          Alcotest.test_case "trunk extents" `Quick test_layout_trunk_extents;
+          Alcotest.test_case "axis aligned" `Quick test_layout_wires_axis_aligned;
+          Alcotest.test_case "parallel policy" `Quick test_layout_parallel_policy;
+          Alcotest.test_case "bad parallel" `Quick test_layout_rejects_bad_parallel;
+          Alcotest.test_case "via p" `Quick test_layout_via_positive_p;
+          Alcotest.test_case "top plate" `Quick test_layout_top_plate;
+          Alcotest.test_case "channel widths" `Quick test_layout_channel_widths_match_tracks;
+          Alcotest.test_case "spiral fewer vias" `Quick test_spiral_fewer_vias_than_chessboard ] );
+      ( "mst",
+        [ Alcotest.test_case "triangle" `Quick test_mst_triangle;
+          Alcotest.test_case "disconnected" `Quick test_mst_rejects_disconnected;
+          Alcotest.test_case "negative" `Quick test_mst_rejects_negative;
+          Alcotest.test_case "grid closed form" `Quick test_grid_mst_closed_form;
+          Alcotest.test_case "top plate is MST" `Quick test_topplate_is_mst ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_route_any_placement ] ) ]

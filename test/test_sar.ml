@@ -1,0 +1,120 @@
+(* Tests for the SAR ADC behavioural model. *)
+
+let tech = Tech.Process.finfet_12nm
+let ideal_tech = { tech with Tech.Process.mismatch_coeff = 0.; gradient_ppm = 0. }
+let spiral8 = Ccplace.Spiral.place ~bits:8
+
+let ideal_caps bits =
+  Array.map float_of_int (Ccgrid.Weights.unit_counts ~bits)
+  |> Array.map (fun n -> n *. 5.)
+
+let test_convert_ideal_endpoints () =
+  let caps = ideal_caps 8 in
+  Alcotest.(check int) "zero" 0 (Dacmodel.Sar.convert ~bits:8 ~caps ~vref:1. 0.001);
+  Alcotest.(check int) "full scale" 255
+    (Dacmodel.Sar.convert ~bits:8 ~caps ~vref:1. 0.9999)
+
+let test_convert_ideal_midscale () =
+  let caps = ideal_caps 8 in
+  (* vin just above V(128) = 0.5 *)
+  Alcotest.(check int) "midscale" 128
+    (Dacmodel.Sar.convert ~bits:8 ~caps ~vref:1. 0.5005)
+
+let test_convert_monotone_in_vin () =
+  let caps = ideal_caps 6 in
+  let prev = ref (-1) in
+  for j = 0 to 200 do
+    let vin = float_of_int j /. 200. in
+    let code = Dacmodel.Sar.convert ~bits:6 ~caps ~vref:1. vin in
+    Alcotest.(check bool) "monotone" true (code >= !prev);
+    prev := code
+  done
+
+let test_convert_clamps () =
+  let caps = ideal_caps 6 in
+  Alcotest.(check int) "below range" 0
+    (Dacmodel.Sar.convert ~bits:6 ~caps ~vref:1. (-0.5));
+  Alcotest.(check int) "above range" 63
+    (Dacmodel.Sar.convert ~bits:6 ~caps ~vref:1. 2.)
+
+let test_convert_rejects_bad_caps () =
+  Alcotest.(check bool) "wrong length" true
+    (try ignore (Dacmodel.Sar.convert ~bits:8 ~caps:(ideal_caps 6) ~vref:1. 0.5); false
+     with Invalid_argument _ -> true)
+
+let test_capacitor_values_nominal () =
+  let values = Dacmodel.Sar.capacitor_values ideal_tech spiral8 in
+  Array.iteri
+    (fun k v ->
+       Alcotest.(check (float 1e-6))
+         (Printf.sprintf "C_%d nominal" k)
+         (float_of_int spiral8.Ccgrid.Placement.counts.(k)
+          *. tech.Tech.Process.unit_cap)
+         v)
+    values
+
+let test_capacitor_values_with_sample () =
+  let sample = Array.make 9 0. in
+  sample.(8) <- 1.0;
+  let base = Dacmodel.Sar.capacitor_values ideal_tech spiral8 in
+  let shifted = Dacmodel.Sar.capacitor_values ideal_tech ~sample spiral8 in
+  Alcotest.(check (float 1e-9)) "shift applied" (base.(8) +. 1.) shifted.(8);
+  Alcotest.(check (float 1e-9)) "others untouched" base.(3) shifted.(3)
+
+let test_characterise_ideal_is_perfect () =
+  let r = Dacmodel.Sar.characterise ideal_tech spiral8 in
+  Alcotest.(check int) "no missing codes" 0 r.Dacmodel.Sar.missing_codes;
+  Alcotest.(check bool) "INL below quantisation" true (r.Dacmodel.Sar.inl_lsb < 0.3);
+  Alcotest.(check bool) "ENOB close to N" true (r.Dacmodel.Sar.enob > 7.5)
+
+let test_characterise_mismatch_degrades () =
+  (* a deliberately horrible process loses codes / linearity *)
+  let bad = { tech with Tech.Process.mismatch_coeff = 0.1 } in
+  let sampler_input =
+    let cov =
+      Capmodel.Covariance.build bad
+        (Ccgrid.Placement.positions_by_cap bad spiral8)
+    in
+    Capmodel.Gauss.draw (Capmodel.Gauss.sampler ~seed:11 cov)
+  in
+  let good = Dacmodel.Sar.characterise ideal_tech spiral8 in
+  let degraded =
+    Dacmodel.Sar.characterise ideal_tech ~sample:sampler_input spiral8
+  in
+  Alcotest.(check bool) "ENOB drops" true
+    (degraded.Dacmodel.Sar.enob < good.Dacmodel.Sar.enob);
+  Alcotest.(check bool) "DNL grows" true
+    (degraded.Dacmodel.Sar.dnl_lsb > good.Dacmodel.Sar.dnl_lsb)
+
+let test_characterise_rejects_bad_sampling () =
+  Alcotest.(check bool) "samples_per_code >= 1" true
+    (try
+       ignore (Dacmodel.Sar.characterise ideal_tech ~samples_per_code:0 spiral8);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_codes_in_range =
+  QCheck.Test.make ~name:"codes always in range" ~count:50
+    QCheck.(pair (int_range 2 8) (float_range (-0.5) 1.5))
+    (fun (bits, vin) ->
+       let caps = ideal_caps bits in
+       let code = Dacmodel.Sar.convert ~bits ~caps ~vref:1. vin in
+       code >= 0 && code < 1 lsl bits)
+
+let () =
+  Alcotest.run "sar"
+    [ ( "convert",
+        [ Alcotest.test_case "endpoints" `Quick test_convert_ideal_endpoints;
+          Alcotest.test_case "midscale" `Quick test_convert_ideal_midscale;
+          Alcotest.test_case "monotone" `Quick test_convert_monotone_in_vin;
+          Alcotest.test_case "clamps" `Quick test_convert_clamps;
+          Alcotest.test_case "bad caps" `Quick test_convert_rejects_bad_caps ] );
+      ( "capacitor values",
+        [ Alcotest.test_case "nominal" `Quick test_capacitor_values_nominal;
+          Alcotest.test_case "sample" `Quick test_capacitor_values_with_sample ] );
+      ( "characterise",
+        [ Alcotest.test_case "ideal" `Quick test_characterise_ideal_is_perfect;
+          Alcotest.test_case "mismatch degrades" `Quick test_characterise_mismatch_degrades;
+          Alcotest.test_case "bad sampling" `Quick test_characterise_rejects_bad_sampling ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_codes_in_range ] ) ]

@@ -1,0 +1,188 @@
+(* Tests for placement serialisation and technology files. *)
+
+let tech = Tech.Process.finfet_12nm
+
+(* --- placement serialisation --- *)
+
+let test_roundtrip_all_styles () =
+  for bits = 2 to 9 do
+    List.iter
+      (fun style ->
+         let p = Ccplace.Style.place ~bits style in
+         match Ccgrid.Serial.of_string (Ccgrid.Serial.to_string p) with
+         | Ok q ->
+           Alcotest.(check bool)
+             (Printf.sprintf "%s %d-bit roundtrip" (Ccplace.Style.name style) bits)
+             true
+             (q.Ccgrid.Placement.assign = p.Ccgrid.Placement.assign
+              && q.Ccgrid.Placement.counts = p.Ccgrid.Placement.counts
+              && q.Ccgrid.Placement.unit_multiplier
+                 = p.Ccgrid.Placement.unit_multiplier
+              && q.Ccgrid.Placement.style_name = p.Ccgrid.Placement.style_name)
+         | Error m -> Alcotest.failf "parse failed: %s" m)
+      (Ccplace.Style.Spiral :: Ccplace.Style.Chessboard :: Ccplace.Style.Rowwise
+       :: Ccplace.Style.block_family ~bits)
+  done
+
+let test_file_roundtrip () =
+  let p = Ccplace.Spiral.place ~bits:6 in
+  let path = Filename.temp_file "ccdac" ".cc" in
+  Ccgrid.Serial.save p ~path;
+  (match Ccgrid.Serial.load ~path with
+   | Ok q -> Alcotest.(check bool) "file roundtrip" true
+               (q.Ccgrid.Placement.assign = p.Ccgrid.Placement.assign)
+   | Error m -> Alcotest.failf "load failed: %s" m);
+  Sys.remove path
+
+let test_rejects_bad_magic () =
+  match Ccgrid.Serial.of_string "not a placement\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage"
+
+let test_rejects_truncated_grid () =
+  let p = Ccplace.Spiral.place ~bits:6 in
+  let text = Ccgrid.Serial.to_string p in
+  let truncated =
+    String.concat "\n"
+      (List.filteri (fun i _ -> i < 8) (String.split_on_char '\n' text))
+  in
+  match Ccgrid.Serial.of_string truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated grid"
+
+let test_rejects_corrupted_counts () =
+  let p = Ccplace.Spiral.place ~bits:6 in
+  let text = Ccgrid.Serial.to_string p in
+  (* claim C_6 has 33 cells: the Placement validator must catch it *)
+  let corrupted =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+            if String.length line >= 6 && String.sub line 0 6 = "counts" then
+              "counts 1 1 2 4 8 16 33"
+            else line)
+         (String.split_on_char '\n' text))
+  in
+  match Ccgrid.Serial.of_string corrupted with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted inconsistent counts"
+
+let test_rejects_bad_token () =
+  let text =
+    "ccdac-placement v1\n\
+     bits 1 rows 2 cols 1 multiplier 1 style t\n\
+     counts 1 1\n\
+     x\n\
+     0\n"
+  in
+  match Ccgrid.Serial.of_string text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad token"
+
+let test_missing_file () =
+  match Ccgrid.Serial.load ~path:"/nonexistent/nope.cc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+let test_too_many_caps_rejected () =
+  let counts = Array.make 40 2 in
+  let p = Ccplace.General.interleaved ~counts in
+  Alcotest.(check bool) "glyph alphabet limit" true
+    (try ignore (Ccgrid.Serial.to_string p); false
+     with Invalid_argument _ -> true)
+
+(* --- technology files --- *)
+
+let test_tech_roundtrip () =
+  let text = Tech.Techfile.to_string tech in
+  match Tech.Techfile.of_string text with
+  | Ok t ->
+    Alcotest.(check string) "name" tech.Tech.Process.name t.Tech.Process.name;
+    Alcotest.(check (float 1e-9)) "unit cap" tech.Tech.Process.unit_cap
+      t.Tech.Process.unit_cap;
+    Alcotest.(check (float 1e-9)) "via" tech.Tech.Process.via_resistance
+      t.Tech.Process.via_resistance;
+    let m3 t = Tech.Process.layer t Tech.Layer.M3 in
+    Alcotest.(check (float 1e-9)) "m3 r" (m3 tech).Tech.Layer.resistance
+      (m3 t).Tech.Layer.resistance
+  | Error m -> Alcotest.failf "roundtrip parse failed: %s" m
+
+let test_tech_overrides () =
+  match
+    Tech.Techfile.of_string
+      "# comment\nname xyz\nunit_cap 8.5\nm1 vertical 99 0.5 0.6\n"
+  with
+  | Ok t ->
+    Alcotest.(check string) "name" "xyz" t.Tech.Process.name;
+    Alcotest.(check (float 1e-9)) "unit cap" 8.5 t.Tech.Process.unit_cap;
+    let m1 = Tech.Process.layer t Tech.Layer.M1 in
+    Alcotest.(check (float 1e-9)) "m1 r" 99. m1.Tech.Layer.resistance;
+    Alcotest.(check bool) "m1 direction" true
+      (Geom.Axis.equal m1.Tech.Layer.direction Geom.Axis.Vertical);
+    (* untouched keys keep the preset *)
+    Alcotest.(check (float 1e-9)) "via kept"
+      Tech.Process.finfet_12nm.Tech.Process.via_resistance
+      t.Tech.Process.via_resistance
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_tech_theta_degrees () =
+  match Tech.Techfile.of_string "gradient_theta_deg 90\n" with
+  | Ok t ->
+    Alcotest.(check (float 1e-9)) "radians" (Float.pi /. 2.)
+      t.Tech.Process.gradient_theta
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_tech_rejects_unknown_key () =
+  match Tech.Techfile.of_string "frobnicate 3\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown key"
+
+let test_tech_rejects_bad_number () =
+  match Tech.Techfile.of_string "unit_cap banana\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad number"
+
+let test_tech_rejects_out_of_range () =
+  match Tech.Techfile.of_string "rho_u 1.5\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted rho_u > 1"
+
+let test_tech_flows () =
+  (* a loaded technology drives the whole flow *)
+  match Tech.Techfile.of_string "unit_cap 10\nvia_resistance 80\n" with
+  | Ok t ->
+    let r = Ccdac.Flow.run ~tech:t ~bits:6 Ccplace.Style.Spiral in
+    Alcotest.(check bool) "analysed" true (r.Ccdac.Flow.f3db_mhz > 0.)
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let prop_serial_roundtrip_general =
+  QCheck.Test.make ~name:"serialisation roundtrips random ratios" ~count:40
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 6) (int_range 1 10))
+    (fun counts_list ->
+       let counts = Array.of_list counts_list in
+       let p = Ccplace.General.interleaved ~counts in
+       match Ccgrid.Serial.of_string (Ccgrid.Serial.to_string p) with
+       | Ok q -> q.Ccgrid.Placement.assign = p.Ccgrid.Placement.assign
+       | Error _ -> false)
+
+let () =
+  Alcotest.run "serial"
+    [ ( "placement",
+        [ Alcotest.test_case "roundtrip all styles" `Quick test_roundtrip_all_styles;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_rejects_bad_magic;
+          Alcotest.test_case "truncated" `Quick test_rejects_truncated_grid;
+          Alcotest.test_case "corrupted counts" `Quick test_rejects_corrupted_counts;
+          Alcotest.test_case "bad token" `Quick test_rejects_bad_token;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "glyph limit" `Quick test_too_many_caps_rejected ] );
+      ( "technology files",
+        [ Alcotest.test_case "roundtrip" `Quick test_tech_roundtrip;
+          Alcotest.test_case "overrides" `Quick test_tech_overrides;
+          Alcotest.test_case "theta degrees" `Quick test_tech_theta_degrees;
+          Alcotest.test_case "unknown key" `Quick test_tech_rejects_unknown_key;
+          Alcotest.test_case "bad number" `Quick test_tech_rejects_bad_number;
+          Alcotest.test_case "out of range" `Quick test_tech_rejects_out_of_range;
+          Alcotest.test_case "drives the flow" `Quick test_tech_flows ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_serial_roundtrip_general ] ) ]

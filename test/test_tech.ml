@@ -1,0 +1,136 @@
+(* Tests for the technology description and parallel-wire transforms. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let finfet = Tech.Process.finfet_12nm
+let bulk = Tech.Process.bulk_legacy
+
+let test_presets_sane () =
+  List.iter
+    (fun (t : Tech.Process.t) ->
+       Alcotest.(check bool) "positive unit cap" true (t.Tech.Process.unit_cap > 0.);
+       Alcotest.(check bool) "positive via" true (t.Tech.Process.via_resistance > 0.);
+       Alcotest.(check bool) "positive pitch" true (t.Tech.Process.wire_pitch > 0.);
+       Alcotest.(check bool) "rho in (0,1)" true
+         (t.Tech.Process.rho_u > 0. && t.Tech.Process.rho_u < 1.);
+       Alcotest.(check int) "three layers" 3 (List.length t.Tech.Process.stack))
+    [ finfet; bulk ]
+
+let test_finfet_is_via_hostile () =
+  (* the premise of the paper: FinFET vias cost much more than bulk ones *)
+  Alcotest.(check bool) "via ratio" true
+    (finfet.Tech.Process.via_resistance > 10. *. bulk.Tech.Process.via_resistance)
+
+let test_plate_much_cheaper_than_wire () =
+  let m1 = Tech.Process.layer finfet Tech.Layer.M1 in
+  Alcotest.(check bool) "plate << wire" true
+    (finfet.Tech.Process.plate_resistance < m1.Tech.Layer.resistance /. 2.)
+
+let test_cell_pitch () =
+  check_float "pitch x"
+    (finfet.Tech.Process.cell_width +. finfet.Tech.Process.cell_spacing)
+    (Tech.Process.cell_pitch_x finfet);
+  check_float "pitch y"
+    (finfet.Tech.Process.cell_height +. finfet.Tech.Process.cell_spacing)
+    (Tech.Process.cell_pitch_y finfet)
+
+let test_sigma_rel () =
+  (* sigma_rel = coeff * sqrt(1 fF / Cu) *)
+  let expected =
+    finfet.Tech.Process.mismatch_coeff *. sqrt (1. /. finfet.Tech.Process.unit_cap)
+  in
+  check_float "sigma_rel" expected (Tech.Process.sigma_rel finfet);
+  check_float "sigma_u" (expected *. finfet.Tech.Process.unit_cap)
+    (Tech.Process.sigma_u finfet)
+
+let test_layer_find () =
+  let m2 = Tech.Process.layer finfet Tech.Layer.M2 in
+  Alcotest.(check bool) "M2" true (Tech.Layer.equal_name m2.Tech.Layer.name Tech.Layer.M2)
+
+let test_layer_find_missing () =
+  Alcotest.check_raises "missing layer"
+    (Invalid_argument "Layer.find: layer not in stack")
+    (fun () -> ignore (Tech.Layer.find [] Tech.Layer.M1))
+
+let test_reserved_directions () =
+  let m1 = Tech.Process.layer finfet Tech.Layer.M1 in
+  let m2 = Tech.Process.layer finfet Tech.Layer.M2 in
+  Alcotest.(check bool) "M1 horizontal" true
+    (Geom.Axis.equal m1.Tech.Layer.direction Geom.Axis.Horizontal);
+  Alcotest.(check bool) "M2 vertical" true
+    (Geom.Axis.equal m2.Tech.Layer.direction Geom.Axis.Vertical)
+
+(* --- parallel wires (Sec. IV-B4) --- *)
+
+let m1 = Tech.Process.layer finfet Tech.Layer.M1
+
+let test_parallel_wire_resistance () =
+  let r1 = Tech.Parallel.wire_resistance m1 ~length:10. ~p:1 in
+  let r4 = Tech.Parallel.wire_resistance m1 ~length:10. ~p:4 in
+  check_float "R / p" (r1 /. 4.) r4
+
+let test_parallel_wire_capacitance () =
+  let c1 = Tech.Parallel.wire_capacitance m1 ~length:10. ~p:1 in
+  let c3 = Tech.Parallel.wire_capacitance m1 ~length:10. ~p:3 in
+  check_float "C * p" (c1 *. 3.) c3
+
+let test_parallel_via_resistance () =
+  let r1 = Tech.Parallel.via_resistance finfet ~p:1 in
+  let r2 = Tech.Parallel.via_resistance finfet ~p:2 in
+  check_float "R / p^2" (r1 /. 4.) r2;
+  check_float "base" finfet.Tech.Process.via_resistance r1
+
+let test_parallel_via_count () =
+  Alcotest.(check int) "p=1" 1 (Tech.Parallel.via_count ~p:1);
+  Alcotest.(check int) "p=3" 9 (Tech.Parallel.via_count ~p:3)
+
+let test_parallel_geometry () =
+  check_float "bundle width"
+    (2. *. finfet.Tech.Process.wire_pitch)
+    (Tech.Parallel.bundle_width finfet ~p:2);
+  check_float "track span"
+    (3. *. finfet.Tech.Process.wire_pitch)
+    (Tech.Parallel.track_span finfet ~p:2)
+
+let test_parallel_rejects_bad_p () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Parallel: p must be >= 1")
+    (fun () -> ignore (Tech.Parallel.via_count ~p:0))
+
+let prop_parallel_monotone =
+  QCheck.Test.make ~name:"more wires, less resistance" ~count:100
+    QCheck.(pair (int_range 1 7) (float_range 0.1 100.))
+    (fun (p, len) ->
+       Tech.Parallel.wire_resistance m1 ~length:len ~p:(p + 1)
+       < Tech.Parallel.wire_resistance m1 ~length:len ~p +. 1e-12)
+
+let prop_rc_product_invariant =
+  (* R*C of a wire bundle is independent of p: resistance / p, cap * p *)
+  QCheck.Test.make ~name:"RC invariant under p" ~count:100
+    QCheck.(pair (int_range 1 8) (float_range 0.1 100.))
+    (fun (p, len) ->
+       let r = Tech.Parallel.wire_resistance m1 ~length:len ~p in
+       let c = Tech.Parallel.wire_capacitance m1 ~length:len ~p in
+       let r1 = Tech.Parallel.wire_resistance m1 ~length:len ~p:1 in
+       let c1 = Tech.Parallel.wire_capacitance m1 ~length:len ~p:1 in
+       Float.abs ((r *. c) -. (r1 *. c1)) < 1e-9)
+
+let () =
+  Alcotest.run "tech"
+    [ ( "process",
+        [ Alcotest.test_case "presets sane" `Quick test_presets_sane;
+          Alcotest.test_case "finfet via hostile" `Quick test_finfet_is_via_hostile;
+          Alcotest.test_case "plate resistance" `Quick test_plate_much_cheaper_than_wire;
+          Alcotest.test_case "cell pitch" `Quick test_cell_pitch;
+          Alcotest.test_case "sigma" `Quick test_sigma_rel;
+          Alcotest.test_case "layer find" `Quick test_layer_find;
+          Alcotest.test_case "layer missing" `Quick test_layer_find_missing;
+          Alcotest.test_case "reserved directions" `Quick test_reserved_directions ] );
+      ( "parallel",
+        [ Alcotest.test_case "wire R" `Quick test_parallel_wire_resistance;
+          Alcotest.test_case "wire C" `Quick test_parallel_wire_capacitance;
+          Alcotest.test_case "via R" `Quick test_parallel_via_resistance;
+          Alcotest.test_case "via count" `Quick test_parallel_via_count;
+          Alcotest.test_case "geometry" `Quick test_parallel_geometry;
+          Alcotest.test_case "bad p" `Quick test_parallel_rejects_bad_p ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parallel_monotone; prop_rc_product_invariant ] ) ]

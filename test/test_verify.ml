@@ -1,0 +1,130 @@
+(* Tests for post-route verification (Check) and SVG export. *)
+
+let tech = Tech.Process.finfet_12nm
+
+let layout_of ?p_of_cap style bits =
+  let p = Ccplace.Style.place ~bits style in
+  Ccroute.Layout.route tech ?p_of_cap p
+
+let spiral6 = layout_of Ccplace.Style.Spiral 6
+
+(* --- check --- *)
+
+let test_all_styles_clean () =
+  for bits = 2 to 9 do
+    List.iter
+      (fun style ->
+         let layout =
+           layout_of ~p_of_cap:(Ccdac.Flow.default_parallel ~bits style) style
+             bits
+         in
+         match Ccroute.Check.run layout with
+         | [] -> ()
+         | v :: _ ->
+           Alcotest.failf "%s %d-bit: %s" (Ccplace.Style.name style) bits
+             (Format.asprintf "%a" Ccroute.Check.pp_violation v))
+      (Ccplace.Style.Spiral :: Ccplace.Style.Chessboard :: Ccplace.Style.Rowwise
+       :: Ccplace.Style.block_family ~bits)
+  done
+
+let test_assert_clean_passes () = Ccroute.Check.assert_clean spiral6
+
+let test_detects_corrupted_parallel () =
+  (* forge a layout with an inconsistent via bundle *)
+  let bad_via =
+    { Ccroute.Layout.v_cap = 6; v_x = 1.; v_y = 1.; v_p = 3 }
+  in
+  let corrupted =
+    { spiral6 with Ccroute.Layout.vias = bad_via :: spiral6.Ccroute.Layout.vias }
+  in
+  let violations = Ccroute.Check.run corrupted in
+  Alcotest.(check bool) "parallel-consistency caught" true
+    (List.exists
+       (fun (v : Ccroute.Check.violation) ->
+          v.Ccroute.Check.rule = "parallel-consistency")
+       violations)
+
+let test_detects_escaping_wire () =
+  let bad_wire =
+    { Ccroute.Layout.w_cap = 3; w_kind = Ccroute.Layout.Stub;
+      w_layer = Tech.Layer.M1; w_ax = -5.; w_ay = 1.; w_bx = 1.; w_by = 1.;
+      w_p = 1 }
+  in
+  let corrupted =
+    { spiral6 with
+      Ccroute.Layout.wires = bad_wire :: spiral6.Ccroute.Layout.wires }
+  in
+  let violations = Ccroute.Check.run corrupted in
+  Alcotest.(check bool) "wire-in-outline caught" true
+    (List.exists
+       (fun (v : Ccroute.Check.violation) ->
+          v.Ccroute.Check.rule = "wire-in-outline")
+       violations)
+
+let test_assert_clean_raises_on_corruption () =
+  let bad_via = { Ccroute.Layout.v_cap = 6; v_x = 1.; v_y = 1.; v_p = 3 } in
+  let corrupted =
+    { spiral6 with Ccroute.Layout.vias = bad_via :: spiral6.Ccroute.Layout.vias }
+  in
+  Alcotest.(check bool) "raises" true
+    (try Ccroute.Check.assert_clean corrupted; false
+     with Invalid_argument _ -> true)
+
+(* --- svg --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let test_svg_well_formed () =
+  let svg = Ccroute.Svg.render spiral6 in
+  Alcotest.(check bool) "opens" true (contains svg "<svg xmlns");
+  Alcotest.(check bool) "closes" true (contains svg "</svg>");
+  Alcotest.(check bool) "has cells" true (contains svg "<rect");
+  Alcotest.(check bool) "has wires" true (contains svg "<line");
+  Alcotest.(check bool) "has vias" true (contains svg "<circle");
+  Alcotest.(check bool) "caption" true (contains svg "spiral 6-bit")
+
+let test_svg_cell_count () =
+  let svg = Ccroute.Svg.render spiral6 in
+  let count sub =
+    let rec walk i acc =
+      if i + String.length sub > String.length svg then acc
+      else if String.sub svg i (String.length sub) = sub then
+        walk (i + 1) (acc + 1)
+      else walk (i + 1) acc
+    in
+    walk 0 0
+  in
+  (* one rect per cell plus the background *)
+  Alcotest.(check int) "rects" (64 + 1) (count "<rect")
+
+let test_svg_hide_top () =
+  let with_top = Ccroute.Svg.render ~show_top:true spiral6 in
+  let without = Ccroute.Svg.render ~show_top:false spiral6 in
+  Alcotest.(check bool) "fewer lines without top plate" true
+    (String.length without < String.length with_top)
+
+let test_svg_write_roundtrip () =
+  let path = Filename.temp_file "ccdac" ".svg" in
+  Ccroute.Svg.write spiral6 ~path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 1000)
+
+let () =
+  Alcotest.run "verify"
+    [ ( "check",
+        [ Alcotest.test_case "all styles clean" `Slow test_all_styles_clean;
+          Alcotest.test_case "assert_clean" `Quick test_assert_clean_passes;
+          Alcotest.test_case "bad parallel" `Quick test_detects_corrupted_parallel;
+          Alcotest.test_case "escaping wire" `Quick test_detects_escaping_wire;
+          Alcotest.test_case "assert raises" `Quick test_assert_clean_raises_on_corruption ] );
+      ( "svg",
+        [ Alcotest.test_case "well-formed" `Quick test_svg_well_formed;
+          Alcotest.test_case "cell count" `Quick test_svg_cell_count;
+          Alcotest.test_case "hide top" `Quick test_svg_hide_top;
+          Alcotest.test_case "write" `Quick test_svg_write_roundtrip ] ) ]
