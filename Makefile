@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench doc clean examples
+.PHONY: all build test lint bench doc clean examples
 
 all: build
 
@@ -9,6 +9,10 @@ build:
 
 test:
 	dune runtest
+
+lint: build
+	dune runtest
+	dune exec bin/ccgen.exe -- lint --all
 
 bench:
 	dune exec bench/main.exe

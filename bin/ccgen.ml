@@ -330,6 +330,120 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg)
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let werror_arg =
+    let doc = "Treat warnings as errors (nonzero exit on any finding)." in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let all_arg =
+    let doc =
+      "Lint every shipped configuration: the four placement styles \
+       (spiral, chessboard, rowwise, and the full block-chessboard family) \
+       at 4 to 10 bits."
+    in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let rules_arg =
+    let doc = "Print the rule catalogue (with $(b,--json): as JSON) and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let load_lint_arg =
+    let doc = "Lint a saved placement file instead of placing a style." in
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let print_rules json =
+    if json then print_endline (Verify.Report.json_rules ())
+    else
+      List.iter
+        (fun (r : Verify.Rule.t) ->
+           Printf.printf "%-34s %-9s %-7s %s\n" r.Verify.Rule.id
+             (Verify.Rule.category_name r.Verify.Rule.category)
+             (Verify.Rule.severity_name r.Verify.Rule.severity)
+             r.Verify.Rule.doc)
+        Verify.Registry.all
+  in
+  (* one linted configuration: label + diagnostics *)
+  let lint_style tech bits style =
+    let parallel = Ccdac.Flow.default_parallel ~bits style in
+    let label = Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits in
+    (label, Verify.Engine.lint ~parallel ~tech ~bits style)
+  in
+  let run bits style granularity tech json werror all rules load =
+    if rules then print_rules json
+    else begin
+      let runs =
+        match load with
+        | Some path -> begin
+            match Ccgrid.Serial.load ~path with
+            | Error msg ->
+              Printf.eprintf "ccgen: %s: %s\n" path msg;
+              exit 2
+            | Ok placement ->
+              [ (path, Verify.Engine.lint_placement ~tech placement) ]
+          end
+        | None when all ->
+          List.concat_map
+            (fun bits ->
+               List.map (lint_style tech bits)
+                 (Ccplace.Style.Spiral :: Ccplace.Style.Chessboard
+                  :: Ccplace.Style.Rowwise
+                  :: Ccplace.Style.block_family ~bits))
+            [ 4; 5; 6; 7; 8; 9; 10 ]
+        | None ->
+          check_bits bits;
+          [ lint_style tech bits (resolve_style ~bits ~granularity style) ]
+      in
+      if json then begin
+        print_string "{\"version\": 1, \"runs\": [";
+        List.iteri
+          (fun i (label, diags) ->
+             if i > 0 then print_string ", ";
+             print_string (Verify.Report.json ~label diags))
+          runs;
+        print_endline "]}"
+      end
+      else
+        List.iter
+          (fun (label, diags) ->
+             match diags with
+             | [] -> Printf.printf "%s: clean\n" label
+             | diags ->
+               Printf.printf "%s: %s\n" label (Verify.Report.summary_line diags);
+               List.iter
+                 (fun d ->
+                    Printf.printf "  %s\n"
+                      (Format.asprintf "%a" Verify.Diagnostic.pp d))
+                 (Verify.Diagnostic.sort diags))
+          runs;
+      let dirty =
+        List.exists
+          (fun (_, diags) ->
+             Result.is_error (Verify.Engine.gate ~werror diags))
+          runs
+      in
+      if not json then begin
+        let total = List.length runs in
+        let clean = List.length (List.filter (fun (_, d) -> d = []) runs) in
+        if total > 1 then
+          Printf.printf "%d configuration(s), %d clean\n" total clean
+      end;
+      if dirty then exit 1
+    end
+  in
+  let doc =
+    "Run the rule-registry linter over tech, style, placement and routed \
+     layout; nonzero exit on any error-severity diagnostic."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ json_arg
+          $ werror_arg $ all_arg $ rules_arg $ load_lint_arg)
+
 (* --- sweep --- *)
 
 let sweep_cmd =
@@ -351,6 +465,6 @@ let main =
   in
   Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
     [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; svg_cmd; mc_cmd;
-      verify_cmd; spectrum_cmd ]
+      verify_cmd; lint_cmd; spectrum_cmd ]
 
 let () = exit (Cmd.eval main)

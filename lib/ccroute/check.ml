@@ -188,6 +188,11 @@ let check_wire_directions (layout : Layout.t) out =
                   | Layout.Top -> "top") })
     layout.Layout.wires
 
+let compare_violation a b =
+  match String.compare a.rule b.rule with
+  | 0 -> String.compare a.detail b.detail
+  | c -> c
+
 let run layout =
   let violations = ref [] in
   let out v = violations := v :: !violations in
@@ -197,15 +202,36 @@ let run layout =
   check_net_coverage layout out;
   check_parallel_consistency layout out;
   check_wire_directions layout out;
-  List.rev !violations
+  (* deterministic rule-id-sorted order, independent of hash-table and
+     checker iteration order *)
+  List.stable_sort compare_violation !violations
+
+let by_rule violations =
+  let tally =
+    List.fold_left
+      (fun acc v ->
+         match acc with
+         | (rule, n) :: rest when String.equal rule v.rule ->
+           (rule, n + 1) :: rest
+         | acc -> (v.rule, 1) :: acc)
+      [] violations
+  in
+  List.rev tally
 
 let assert_clean layout =
   match run layout with
   | [] -> ()
   | violations ->
+    let breakdown =
+      String.concat ", "
+        (List.map
+           (fun (rule, n) -> Printf.sprintf "%s x%d" rule n)
+           (by_rule violations))
+    in
     let first = List.filteri (fun i _ -> i < 5) violations in
     invalid_arg
-      (Format.asprintf "Check.assert_clean: %d violations, first: %a"
+      (Format.asprintf "Check.assert_clean: %d violations (%s); first: %a"
          (List.length violations)
+         breakdown
          (Format.pp_print_list pp_violation)
          first)

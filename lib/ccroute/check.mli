@@ -13,11 +13,20 @@ type violation = {
   detail : string;  (** human-readable description *)
 }
 
-(** [run layout] executes every check. *)
+(** [run layout] executes every check.  Violations come back in a
+    deterministic order: sorted by rule id, then by detail. *)
 val run : Layout.t -> violation list
 
-(** [assert_clean layout] raises [Invalid_argument] listing the first few
-    violations when the layout is not clean. *)
+(** [compare_violation a b] is the order {!run} returns violations in. *)
+val compare_violation : violation -> violation -> int
+
+(** [by_rule violations] tallies a {b sorted} violation list into
+    [(rule, count)] pairs, in rule order. *)
+val by_rule : violation list -> (string * int) list
+
+(** [assert_clean layout] raises [Invalid_argument] when the layout is not
+    clean; the message carries the total violation count, a per-rule
+    breakdown, and the first few violations in full. *)
 val assert_clean : Layout.t -> unit
 
 val pp_violation : Format.formatter -> violation -> unit

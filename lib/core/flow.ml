@@ -25,7 +25,20 @@ let default_parallel ~bits style =
     Ccroute.Layout.msb_parallel ~bits ~p:2
   | Ccplace.Style.Chessboard | Ccplace.Style.Rowwise -> fun _ -> 1
 
-let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ~bits style =
+(* The verification gate: nothing leaves place-and-route for extraction
+   unless the registry linter signs off on tech, placement and layout.
+   Rejection raises [Verify.Engine.Rejected] carrying every diagnostic. *)
+let verify_layout ~what (layout : Ccroute.Layout.t) =
+  let t0 = Unix.gettimeofday () in
+  let diags = Verify.Engine.check_artifacts layout in
+  Log.debug (fun m ->
+      m "%s: verification %.3f ms (%d diagnostics)" what
+        (1e3 *. (Unix.gettimeofday () -. t0))
+        (List.length diags));
+  Verify.Engine.assert_clean ~what diags
+
+let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ?(verify = true)
+    ~bits style =
   let parallel =
     Option.value parallel ~default:(default_parallel ~bits style)
   in
@@ -34,6 +47,10 @@ let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ~bits style =
   let t_place = Unix.gettimeofday () in
   let layout = Ccroute.Layout.route tech ~p_of_cap:parallel placement in
   let t1 = Unix.gettimeofday () in
+  if verify then
+    verify_layout
+      ~what:(Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits)
+      layout;
   Log.debug (fun m ->
       m "%s %d-bit: place %.3f ms, route %.3f ms (%d groups, %d tracks)"
         (Ccplace.Style.name style) bits
@@ -74,13 +91,14 @@ let analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout =
     area = parasitics.Extract.Parasitics.area;
     elapsed_place_route_s = elapsed }
 
-let run ?(tech = Tech.Process.finfet_12nm) ?parallel ?sign_mode ?theta ~bits
-    style =
-  let layout, elapsed = place_route ~tech ?parallel ~bits style in
+let run ?(tech = Tech.Process.finfet_12nm) ?parallel ?verify ?sign_mode ?theta
+    ~bits style =
+  let layout, elapsed = place_route ~tech ?parallel ?verify ~bits style in
   analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout
 
-let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel ?sign_mode
-    ?theta ?(style = Ccplace.Style.Spiral) placement =
+let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel
+    ?(verify = true) ?sign_mode ?theta ?(style = Ccplace.Style.Spiral)
+    placement =
   let bits = placement.Ccgrid.Placement.bits in
   let expected =
     Ccgrid.Weights.scale (Ccgrid.Weights.unit_counts ~bits)
@@ -96,4 +114,10 @@ let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel ?sign_mode
   let t0 = Unix.gettimeofday () in
   let layout = Ccroute.Layout.route tech ~p_of_cap:parallel placement in
   let elapsed = Unix.gettimeofday () -. t0 in
+  if verify then
+    verify_layout
+      ~what:
+        (Printf.sprintf "%s %d-bit (prebuilt placement)"
+           placement.Ccgrid.Placement.style_name bits)
+      layout;
   analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout

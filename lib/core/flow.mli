@@ -24,17 +24,26 @@ type result = {
   elapsed_place_route_s : float;  (** wall-clock of place+route (Table III) *)
 }
 
-(** [run ?tech ?parallel ?sign_mode ?theta ~bits style].
+(** [run ?tech ?parallel ?verify ?sign_mode ?theta ~bits style].
 
     [parallel] is the per-capacitor parallel-wire count; by default the
     paper's policy: the paper's own styles (spiral and block chessboard)
     route their three MSB capacitors with 2 parallel wires, while the
     prior-work baselines ([1] proxy and [7]) use single wires, matching
     Sec. V ("Both S and BC use our parallel routing method").
-    [sign_mode] defaults to [Paper]. *)
+    [sign_mode] defaults to [Paper].
+
+    [verify] (default [true]) gates the flow on the {!Verify} registry
+    linter: the tech description, the placement and the routed layout are
+    all audited {e before} extraction, and any Error-severity diagnostic
+    raises {!Verify.Engine.Rejected} — bad artifacts are rejected loudly
+    rather than silently mis-measured.  Pass [~verify:false] to route
+    deliberately out-of-contract artifacts (e.g. to study them with the
+    linter itself). *)
 val run :
   ?tech:Tech.Process.t ->
   ?parallel:(int -> int) ->
+  ?verify:bool ->
   ?sign_mode:Dacmodel.Nonlinearity.sign_mode ->
   ?theta:float ->
   bits:int ->
@@ -44,28 +53,35 @@ val run :
 (** [default_parallel ~bits style] is the policy described above. *)
 val default_parallel : bits:int -> Ccplace.Style.t -> int -> int
 
-(** [run_placement ?tech ?parallel ?sign_mode ?theta ?style placement]
-    routes and analyses a {e prebuilt} binary-weighted placement — e.g.
-    one produced by {!Ccplace.Refine.refine} or hand-constructed.
-    [style] only labels the result (default Spiral, whose parallel policy
-    is also the default).  Raises [Invalid_argument] when the placement's
-    counts are not binary-weighted: the DAC transfer model assumes binary
-    ratios (use the extraction layer directly for general ratios). *)
+(** [run_placement ?tech ?parallel ?verify ?sign_mode ?theta ?style
+    placement] routes and analyses a {e prebuilt} binary-weighted
+    placement — e.g. one produced by {!Ccplace.Refine.refine} or
+    hand-constructed.  [style] only labels the result (default Spiral,
+    whose parallel policy is also the default).  Raises
+    [Invalid_argument] when the placement's counts are not
+    binary-weighted: the DAC transfer model assumes binary ratios (use
+    the extraction layer directly for general ratios).  [verify] gates on
+    the linter exactly as in {!run} — hand-constructed placements that
+    break the common-centroid contract raise {!Verify.Engine.Rejected}
+    unless [~verify:false]. *)
 val run_placement :
   ?tech:Tech.Process.t ->
   ?parallel:(int -> int) ->
+  ?verify:bool ->
   ?sign_mode:Dacmodel.Nonlinearity.sign_mode ->
   ?theta:float ->
   ?style:Ccplace.Style.t ->
   Ccgrid.Placement.t ->
   result
 
-(** [place_route ?tech ?parallel ~bits style] runs only placement and
-    routing, returning the layout and the wall-clock seconds — the
-    Table III measurement without analysis cost. *)
+(** [place_route ?tech ?parallel ?verify ~bits style] runs only placement
+    and routing, returning the layout and the wall-clock seconds — the
+    Table III measurement without analysis cost.  The verification gate
+    runs {e after} the clock stops, so timings stay comparable. *)
 val place_route :
   ?tech:Tech.Process.t ->
   ?parallel:(int -> int) ->
+  ?verify:bool ->
   bits:int ->
   Ccplace.Style.t ->
   Ccroute.Layout.t * float

@@ -1,0 +1,37 @@
+(** One concrete finding: a {!Rule.t} violated at a particular place in a
+    particular artifact. *)
+
+type t = {
+  rule : Rule.t;
+  loc : string option;  (** what the finding is anchored to, e.g. ["C_3"],
+                            ["cell (2,5)"], ["channel 4"] *)
+  detail : string;      (** human-readable description with measured values *)
+}
+
+(** [make ?loc rule detail]. *)
+val make : ?loc:string -> Rule.t -> string -> t
+
+(** [makef ?loc rule fmt ...] formats the detail in place. *)
+val makef : ?loc:string -> Rule.t -> ('a, unit, string, t) format4 -> 'a
+
+val severity : t -> Rule.severity
+
+(** Severity first (errors up), then rule id, then location, then detail —
+    a deterministic total order for reporting. *)
+val compare : t -> t -> int
+
+(** [sort diags] is [diags] in {!compare} order. *)
+val sort : t list -> t list
+
+(** [count sev diags]. *)
+val count : Rule.severity -> t list -> int
+
+(** [errors diags] keeps only [Error]-severity findings. *)
+val errors : t list -> t list
+
+(** [rule_ids diags] is the sorted de-duplicated list of violated rule
+    ids. *)
+val rule_ids : t list -> string list
+
+(** Renders as ["error[place/centroid] C_3: centroid off by ..."]. *)
+val pp : Format.formatter -> t -> unit

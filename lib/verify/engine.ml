@@ -1,0 +1,86 @@
+exception
+  Rejected of {
+    what : string;                   (* artifact name, e.g. "spiral 8-bit" *)
+    diagnostics : Diagnostic.t list; (* full sorted run, not only errors *)
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Rejected { what; diagnostics } ->
+      let shown =
+        List.filteri (fun i _ -> i < 8) (Diagnostic.errors diagnostics)
+      in
+      Some
+        (Format.asprintf "@[<v>Verify.Engine.Rejected (%s): %s%a@]" what
+           (Report.summary_line diagnostics)
+           (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+              (fun ppf d -> Format.fprintf ppf "@,  %a" Diagnostic.pp d))
+           shown)
+    | _ -> None)
+
+let check_tech = Tech_rules.check
+
+let check_style = Style_rules.check
+
+let check_placement = Place_rules.check
+
+let check_layout = Route_rules.check
+
+let check_artifacts (layout : Ccroute.Layout.t) =
+  let tech = layout.Ccroute.Layout.tech in
+  check_tech tech
+  @ check_placement tech layout.Ccroute.Layout.placement
+  @ check_layout layout
+
+let has_errors diags =
+  List.exists (fun d -> Diagnostic.severity d = Rule.Error) diags
+
+let worst diags =
+  List.fold_left
+    (fun acc d ->
+       match acc with
+       | None -> Some (Diagnostic.severity d)
+       | Some s ->
+         if Rule.compare_severity (Diagnostic.severity d) s < 0 then
+           Some (Diagnostic.severity d)
+         else acc)
+    None diags
+
+let lint_placement ?parallel ?(tech = Tech.Process.finfet_12nm) placement =
+  let pre = check_tech tech @ check_placement tech placement in
+  if has_errors pre then pre
+  else begin
+    let p_of_cap = Option.value parallel ~default:(fun _ -> 1) in
+    let layout = Ccroute.Layout.route tech ~p_of_cap placement in
+    pre @ check_layout layout
+  end
+
+let lint ?parallel ?(tech = Tech.Process.finfet_12nm) ~bits style =
+  let pre = check_tech tech @ check_style ~bits style in
+  if has_errors pre then pre
+  else begin
+    let placement = Ccplace.Style.place ~bits style in
+    let place_diags = check_placement tech placement in
+    let pre = pre @ place_diags in
+    if has_errors pre then pre
+    else begin
+      let p_of_cap = Option.value parallel ~default:(fun _ -> 1) in
+      let layout = Ccroute.Layout.route tech ~p_of_cap placement in
+      pre @ check_layout layout
+    end
+  end
+
+let gate ?(werror = false) diags =
+  let disqualifying d =
+    match Diagnostic.severity d with
+    | Rule.Error -> true
+    | Rule.Warning -> werror
+    | Rule.Info -> false
+  in
+  if List.exists disqualifying diags then Error (Diagnostic.sort diags)
+  else Ok ()
+
+let assert_clean ?werror ?(what = "artifact") diags =
+  match gate ?werror diags with
+  | Ok () -> ()
+  | Error diagnostics -> raise (Rejected { what; diagnostics })

@@ -1,0 +1,36 @@
+(** Diagnostic reporters: a pretty text form for terminals and a stable
+    machine-readable JSON form for tooling.
+
+    Both render diagnostics in {!Diagnostic.compare} order (errors first),
+    so output is deterministic regardless of checker execution order. *)
+
+(** [pp_text ppf diags] prints one line per diagnostic followed by a
+    summary line ("clean" or "2 errors, 1 warning"). *)
+val pp_text : Format.formatter -> Diagnostic.t list -> unit
+
+(** [text diags] is {!pp_text} to a string. *)
+val text : Diagnostic.t list -> string
+
+(** [summary_line diags] is just the final counts line. *)
+val summary_line : Diagnostic.t list -> string
+
+(** [json_escape s] escapes [s] for embedding in a JSON string literal. *)
+val json_escape : string -> string
+
+(** [json ?label diags] is a self-contained JSON object:
+
+    {v
+    {"version": 1,
+     "label": "spiral 8-bit",
+     "summary": {"errors": 1, "warnings": 0, "infos": 0, "total": 1},
+     "diagnostics": [
+       {"rule": "place/centroid", "category": "placement",
+        "severity": "error", "loc": "C_3", "detail": "..."}]}
+    v}
+
+    [label] (optional) names the linted configuration. *)
+val json : ?label:string -> Diagnostic.t list -> string
+
+(** [json_rules ()] renders the whole {!Registry} catalogue as JSON
+    (id, category, severity, doc per rule). *)
+val json_rules : unit -> string

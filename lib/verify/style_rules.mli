@@ -1,0 +1,20 @@
+(** Placement-style configuration rules: catch invalid or unstudied
+    {!Ccplace.Style.t} configurations before any cell is placed. *)
+
+(** ["style/bits-range"] *)
+val r_bits : Rule.t
+
+(** ["style/block-core-bits"] *)
+val r_core_bits : Rule.t
+
+(** ["style/block-granularity"] *)
+val r_granularity : Rule.t
+
+(** ["style/block-granularity-unswept"] *)
+val r_unswept : Rule.t
+
+(** Every rule this module owns. *)
+val rules : Rule.t list
+
+(** [check ~bits style] validates the (resolution, style) pair. *)
+val check : bits:int -> Ccplace.Style.t -> Diagnostic.t list
