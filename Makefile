@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint bench doc clean examples
+.PHONY: all build test lint bench profile doc clean examples
 
 all: build
 
@@ -16,6 +16,12 @@ lint: build
 
 bench:
 	dune exec bench/main.exe
+
+# Per-stage time/metric breakdown of the flow (docs/TELEMETRY.md);
+# profile.json is what CI uploads as an artifact.
+profile: build
+	dune exec bin/ccgen.exe -- profile --bits 6,8
+	dune exec bin/ccgen.exe -- profile --bits 6,8 --json > profile.json
 
 examples:
 	dune exec examples/quickstart.exe

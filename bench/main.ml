@@ -82,6 +82,76 @@ let bechamel_tests =
       (mk Ccplace.Style.Chessboard "chessboard"
        @ mk Ccplace.Style.Rowwise "rowwise") ]
 
+(* --- BENCH_flow.json: machine-readable flow benchmark (docs/BENCH.md) --- *)
+
+let median_by f runs =
+  let sorted = List.sort (fun a b -> Float.compare (f a) (f b)) runs in
+  List.nth sorted (List.length sorted / 2)
+
+let bench_flow_styles bits =
+  [ Ccplace.Style.Rowwise; Ccplace.Style.Chessboard; Ccplace.Style.Spiral;
+    Ccplace.Style.block_default ~bits ]
+
+let bench_flow_run bits style =
+  let runs = List.init 5 (fun _ -> Ccdac.Flow.run ~tech ~bits style) in
+  let r = median_by (fun r -> r.Ccdac.Flow.elapsed_place_route_s) runs in
+  let open Telemetry.Json in
+  Obj
+    [ ("style", Str (Ccplace.Style.name style));
+      ("bits", Num (float_of_int bits));
+      ("place_route_s", Num r.Ccdac.Flow.elapsed_place_route_s);
+      ("f3db_mhz", Num r.Ccdac.Flow.f3db_mhz);
+      ("max_inl_lsb", Num r.Ccdac.Flow.max_inl);
+      ("max_dnl_lsb", Num r.Ccdac.Flow.max_dnl);
+      ( "via_cuts",
+        Num
+          (float_of_int
+             r.Ccdac.Flow.parasitics.Extract.Parasitics.total_via_cuts) ) ]
+
+(* Null-sink overhead: place+route with telemetry idle (the default fast
+   path) vs the same work inside a recording scope.  The ratio must stay
+   within run-to-run noise — this is the zero-overhead-default evidence. *)
+let bench_flow_overhead () =
+  let bits = 8 and reps = 5 in
+  let elapsed () =
+    snd (Ccdac.Flow.place_route ~tech ~bits Ccplace.Style.Spiral)
+  in
+  let median l = List.nth (List.sort Float.compare l) (List.length l / 2) in
+  let idle = median (List.init reps (fun _ -> elapsed ())) in
+  let recorded =
+    median
+      (List.init reps (fun _ ->
+           fst (Telemetry.Summary.record ~name:"bench" elapsed)))
+  in
+  let open Telemetry.Json in
+  Obj
+    [ ("bits", Num (float_of_int bits));
+      ("idle_s", Num idle);
+      ("recorded_s", Num recorded);
+      ("ratio", Num (recorded /. idle)) ]
+
+let benchflow () =
+  banner "BENCH_flow.json";
+  let runs =
+    List.concat_map
+      (fun bits -> List.map (bench_flow_run bits) (bench_flow_styles bits))
+      table_bits
+  in
+  let doc =
+    let open Telemetry.Json in
+    Obj
+      [ ("version", Num 1.);
+        ("tech", Str tech.Tech.Process.name);
+        ("repeat", Num 5.);
+        ("runs", Arr runs);
+        ("null_sink_overhead", bench_flow_overhead ()) ]
+  in
+  let oc = open_out "BENCH_flow.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_flow.json"
+
 let bench () =
   banner "Bechamel: constructive P&R kernels (ns/run)";
   let ols =
@@ -113,7 +183,8 @@ let bench () =
             Printf.printf "  %-28s %12.0f ns/run  (%6.3f ms)\n" name estimate
               (estimate /. 1e6))
          sorted)
-    bechamel_tests
+    bechamel_tests;
+  benchflow ()
 
 (* --- figures --- *)
 
@@ -352,7 +423,7 @@ let artefacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6a", fig6a); ("fig6b", fig6b); ("ablation", ablation);
-    ("bench", bench); ("csv", csv) ]
+    ("bench", bench); ("benchflow", benchflow); ("csv", csv) ]
 
 let () =
   let requested =

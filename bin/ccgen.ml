@@ -6,6 +6,7 @@
      ccgen compare -b 8                    the four methods side by side
      ccgen tables                          regenerate the paper's tables
      ccgen sweep   -b 8                    parallel-wire sweep (Fig. 6a)
+     ccgen profile -b 6,8 --json           per-stage time/metric breakdown
 *)
 
 open Cmdliner
@@ -88,6 +89,36 @@ let check_bits bits =
     exit 2
   end
 
+(* --- telemetry surface (shared by run and profile) --- *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) \
+     (load it in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Dump the metrics registry after the run: $(b,text) or $(b,json)." in
+  Arg.(value & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+       & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+(* Run [f] with a Chrome-trace sink installed when requested. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let r = Telemetry.Sink.with_ (Telemetry.Sink.chrome_trace ~path) f in
+    Printf.eprintf "ccgen: wrote trace to %s\n" path;
+    r
+
+let print_metrics fmt (dump : Telemetry.Metrics.dump) =
+  match fmt with
+  | None -> ()
+  | Some `Text -> print_string (Telemetry.Metrics.to_text dump)
+  | Some `Json ->
+    print_endline (Telemetry.Json.to_string (Telemetry.Metrics.to_json dump))
+
 (* --- place --- *)
 
 let place_cmd =
@@ -127,41 +158,43 @@ let load_arg =
   Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run bits style granularity tech refine_swaps verbose load =
+  let run bits style granularity tech refine_swaps verbose load trace
+      metrics_fmt =
     setup_logs verbose;
     check_bits bits;
     let style = resolve_style ~bits ~granularity style in
-    match load with
-    | Some path -> begin
-        match Ccgrid.Serial.load ~path with
-        | Error msg ->
-          Printf.eprintf "ccgen: %s: %s\n" path msg;
-          exit 1
-        | Ok placement ->
-          print_string
-            (Ccdac.Report.summary (Ccdac.Flow.run_placement ~tech placement))
-      end
-    | None ->
     let r =
-      if refine_swaps <= 0 then Ccdac.Flow.run ~tech ~bits style
-      else begin
-        let placement = Ccplace.Style.place ~bits style in
-        let refined, stats =
-          Ccplace.Refine.refine tech ~max_passes:50 ~max_swaps:refine_swaps
-            placement
-        in
-        Printf.printf "refinement: %d swaps, energy %.1f -> %.1f\n\n"
-          stats.Ccplace.Refine.swaps stats.Ccplace.Refine.initial_energy
-          stats.Ccplace.Refine.final_energy;
-        Ccdac.Flow.run_placement ~tech ~style refined
-      end
+      with_trace trace @@ fun () ->
+      match load with
+      | Some path -> begin
+          match Ccgrid.Serial.load ~path with
+          | Error msg ->
+            Printf.eprintf "ccgen: %s: %s\n" path msg;
+            exit 1
+          | Ok placement -> Ccdac.Flow.run_placement ~tech placement
+        end
+      | None ->
+        if refine_swaps <= 0 then Ccdac.Flow.run ~tech ~bits style
+        else begin
+          let placement = Ccplace.Style.place ~bits style in
+          let refined, stats =
+            Ccplace.Refine.refine tech ~max_passes:50 ~max_swaps:refine_swaps
+              placement
+          in
+          Printf.printf "refinement: %d swaps, energy %.1f -> %.1f\n\n"
+            stats.Ccplace.Refine.swaps stats.Ccplace.Refine.initial_energy
+            stats.Ccplace.Refine.final_energy;
+          Ccdac.Flow.run_placement ~tech ~style refined
+        end
     in
-    print_string (Ccdac.Report.summary r)
+    print_string (Ccdac.Report.summary r);
+    print_metrics metrics_fmt
+      r.Ccdac.Flow.telemetry.Telemetry.Summary.metrics
   in
   let doc = "Run the full flow (place, route, extract, analyse) and report." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ refine_arg
-          $ verbose_arg $ load_arg)
+          $ verbose_arg $ load_arg $ trace_arg $ metrics_arg)
 
 (* --- compare --- *)
 
@@ -444,6 +477,123 @@ let lint_cmd =
     Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ json_arg
           $ werror_arg $ all_arg $ rules_arg $ load_lint_arg)
 
+(* --- profile --- *)
+
+let profile_cmd =
+  let bits_list_arg =
+    let doc = "Comma-separated resolutions to profile." in
+    Arg.(value & opt (list int) [ 6; 8 ]
+         & info [ "b"; "bits" ] ~docv:"N,.." ~doc)
+  in
+  let styles_arg =
+    let doc = "Comma-separated styles to profile (default: all four)." in
+    Arg.(value
+         & opt (list style_conv) [ `Rowwise; `Chessboard; `Spiral; `Block ]
+         & info [ "s"; "styles" ] ~docv:"STYLE,.." ~doc)
+  in
+  let repeat_arg =
+    let doc =
+      "Runs per configuration; the reported stage times are those of the \
+       run with the median place+route time."
+    in
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"R" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the machine-readable profile document (docs/BENCH.md)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let stage_names = [ "place"; "route"; "verify"; "extract"; "analyse" ] in
+  let stage_s (r : Ccdac.Flow.result) name =
+    Option.value ~default:0. (Telemetry.Summary.stage_seconds r.telemetry name)
+  in
+  let median_run runs =
+    let sorted =
+      List.sort
+        (fun a b ->
+           Float.compare a.Ccdac.Flow.elapsed_place_route_s
+             b.Ccdac.Flow.elapsed_place_route_s)
+        runs
+    in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let json_of_run (r : Ccdac.Flow.result) =
+    let open Telemetry.Json in
+    Obj
+      [ ("style", Str (Ccplace.Style.name r.style));
+        ("bits", Num (float_of_int r.bits));
+        ( "stages_s",
+          Obj (List.map (fun n -> (n, Num (stage_s r n))) stage_names) );
+        ("place_route_s", Num r.elapsed_place_route_s);
+        ("f3db_mhz", Num r.f3db_mhz);
+        ("max_inl_lsb", Num r.max_inl);
+        ("max_dnl_lsb", Num r.max_dnl);
+        ( "via_cuts",
+          Num (float_of_int r.parasitics.Extract.Parasitics.total_via_cuts) );
+        ("bends", Num (float_of_int r.parasitics.Extract.Parasitics.total_bends));
+        ("wirelength_um", Num r.parasitics.Extract.Parasitics.total_wirelength);
+        ("area_um2", Num r.area) ]
+  in
+  let run bits_list styles granularity tech repeat json verbose trace
+      metrics_fmt =
+    setup_logs verbose;
+    if repeat < 1 then begin
+      Printf.eprintf "ccgen: --repeat must be >= 1\n";
+      exit 2
+    end;
+    List.iter check_bits bits_list;
+    let medians, dump =
+      Telemetry.Metrics.collect @@ fun () ->
+      with_trace trace @@ fun () ->
+      Telemetry.Span.with_ ~name:"profile" @@ fun () ->
+      List.concat_map
+        (fun bits ->
+           List.map
+             (fun s ->
+                let style = resolve_style ~bits ~granularity s in
+                median_run
+                  (List.init repeat (fun _ -> Ccdac.Flow.run ~tech ~bits style)))
+             styles)
+        bits_list
+    in
+    if json then begin
+      let open Telemetry.Json in
+      print_endline
+        (to_string
+           (Obj
+              [ ("version", Num 1.);
+                ("tech", Str tech.Tech.Process.name);
+                ("repeat", Num (float_of_int repeat));
+                ("runs", Arr (List.map json_of_run medians));
+                ("metrics", Telemetry.Metrics.to_json dump) ]))
+    end
+    else begin
+      Printf.printf
+        "%-18s %4s  %9s %9s %9s %9s %9s  %8s %6s %9s\n" "style" "bits"
+        "place ms" "route ms" "verify ms" "extract ms" "analyse ms" "p+r ms"
+        "vias" "f3dB MHz";
+      List.iter
+        (fun (r : Ccdac.Flow.result) ->
+           let ms n = 1e3 *. stage_s r n in
+           Printf.printf
+             "%-18s %4d  %9.2f %9.2f %9.2f %9.2f %9.2f  %8.2f %6d %9.0f\n"
+             (Ccplace.Style.name r.style) r.bits (ms "place") (ms "route")
+             (ms "verify") (ms "extract") (ms "analyse")
+             (1e3 *. r.elapsed_place_route_s)
+             r.parasitics.Extract.Parasitics.total_via_cuts r.f3db_mhz)
+        medians;
+      Printf.printf "(%d run(s) per configuration; median by place+route)\n"
+        repeat;
+      print_metrics metrics_fmt dump
+    end
+  in
+  let doc =
+    "Profile the flow over a (style, bits) matrix: per-stage wall time and \
+     layout metrics, with optional Chrome trace and metrics dump."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ bits_list_arg $ styles_arg $ gran_arg $ tech_arg
+          $ repeat_arg $ json_arg $ verbose_arg $ trace_arg $ metrics_arg)
+
 (* --- sweep --- *)
 
 let sweep_cmd =
@@ -464,7 +614,7 @@ let main =
      capacitor arrays (DATE 2022 reproduction)"
   in
   Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
-    [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; svg_cmd; mc_cmd;
-      verify_cmd; lint_cmd; spectrum_cmd ]
+    [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; profile_cmd;
+      svg_cmd; mc_cmd; verify_cmd; lint_cmd; spectrum_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -155,6 +155,8 @@ let refine tech ?(max_passes = 3) ?(max_swaps = max_int) (p : Placement.t) =
       ~counts:p.Placement.counts ~assign
       ~style_name:(p.Placement.style_name ^ "+refined")
   in
+  Telemetry.Metrics.incr ~n:!swaps "place/refine_swaps_total";
+  Telemetry.Metrics.incr ~n:!passes "place/refine_passes_total";
   ( refined,
     { swaps = !swaps; passes = !passes; initial_energy;
       final_energy = total_energy st } )

@@ -18,19 +18,30 @@ let block_family ~bits =
     (fun granularity -> Block_chess { core_bits; granularity })
     (Block_chess.granularities ~bits)
 
-let place ~bits = function
-  | Spiral -> Spiral.place ~bits
-  | Chessboard -> Chessboard.place ~bits
-  | Block_chess { core_bits; granularity } ->
-    Block_chess.place ~bits ~core_bits ~granularity ()
-  | Rowwise -> Rowwise.place ~bits
-
 let name = function
   | Spiral -> "spiral"
   | Chessboard -> "chessboard"
   | Block_chess { core_bits; granularity } ->
     Printf.sprintf "block-chess(core=%d,g=%d)" core_bits granularity
   | Rowwise -> "rowwise"
+
+let place ~bits style =
+  Telemetry.Span.with_ ~name:"place.builder"
+    ~attrs:
+      [ ("style", Telemetry.Span.Str (name style));
+        ("bits", Telemetry.Span.Int bits) ]
+    (fun () ->
+       let p =
+         match style with
+         | Spiral -> Spiral.place ~bits
+         | Chessboard -> Chessboard.place ~bits
+         | Block_chess { core_bits; granularity } ->
+           Block_chess.place ~bits ~core_bits ~granularity ()
+         | Rowwise -> Rowwise.place ~bits
+       in
+       Telemetry.Metrics.set "place/cells"
+         (float_of_int (p.Ccgrid.Placement.rows * p.Ccgrid.Placement.cols));
+       p)
 
 let label = function
   | Spiral -> "S"

@@ -194,17 +194,24 @@ let compare_violation a b =
   | c -> c
 
 let run layout =
-  let violations = ref [] in
-  let out v = violations := v :: !violations in
-  check_outline layout out;
-  check_trunks_in_channels layout out;
-  check_track_separation layout out;
-  check_net_coverage layout out;
-  check_parallel_consistency layout out;
-  check_wire_directions layout out;
-  (* deterministic rule-id-sorted order, independent of hash-table and
-     checker iteration order *)
-  List.stable_sort compare_violation !violations
+  Telemetry.Span.with_ ~name:"route.check" (fun () ->
+      let violations = ref [] in
+      let out v = violations := v :: !violations in
+      check_outline layout out;
+      check_trunks_in_channels layout out;
+      check_track_separation layout out;
+      check_net_coverage layout out;
+      check_parallel_consistency layout out;
+      check_wire_directions layout out;
+      if Telemetry.Metrics.enabled () then
+        List.iter
+          (fun v ->
+             Telemetry.Metrics.incr ~label:v.rule
+               "route/check_violations_total")
+          !violations;
+      (* deterministic rule-id-sorted order, independent of hash-table and
+         checker iteration order *)
+      List.stable_sort compare_violation !violations)
 
 let by_rule violations =
   let tally =

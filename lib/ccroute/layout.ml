@@ -106,8 +106,14 @@ let route tech ?(p_of_cap = fun _ -> 1) (placement : Placement.t) =
          if p < 1 then invalid_arg "Layout.route: p_of_cap must be >= 1";
          p)
   in
-  let groups = Group.of_placement placement in
-  let plan = Plan.make placement groups in
+  let groups =
+    Telemetry.Span.with_ ~name:"route.groups" (fun () ->
+        Group.of_placement placement)
+  in
+  let plan =
+    Telemetry.Span.with_ ~name:"route.plan" (fun () ->
+        Plan.make placement groups)
+  in
   (* --- channel geometry --- *)
   let channel_width = Array.make (cols + 1) 0. in
   let track_x = Array.make (cols + 1) [||] in
@@ -276,7 +282,10 @@ let route tech ?(p_of_cap = fun _ -> 1) (placement : Placement.t) =
     { cn_cap = cap; cn_groups = cap_groups; cn_trunks = trunks;
       cn_bridge_y = bridge; cn_driver_x = driver_x }
   in
-  let nets = Array.init (bits + 1) build_net in
+  let nets =
+    Telemetry.Span.with_ ~name:"route.nets" (fun () ->
+        Array.init (bits + 1) build_net)
+  in
   (* --- top plate: column runs + one horizontal connector (MST) --- *)
   let top_wires = ref [] in
   let mid_row = rows / 2 in
@@ -298,6 +307,14 @@ let route tech ?(p_of_cap = fun _ -> 1) (placement : Placement.t) =
   let top_length =
     List.fold_left (fun acc w -> acc +. wire_length w) 0. !top_wires
   in
+  if Telemetry.Metrics.enabled () then begin
+    Telemetry.Metrics.set "route/groups" (float_of_int (List.length groups));
+    Telemetry.Metrics.set "route/tracks"
+      (float_of_int (Plan.total_tracks plan));
+    Telemetry.Metrics.set "route/wires"
+      (float_of_int (List.length !wires + List.length !top_wires));
+    Telemetry.Metrics.set "route/vias" (float_of_int (List.length !vias))
+  end;
   { placement; tech; groups; plan; p_of_cap = p_arr; col_x; row_y;
     channel_width; bridge_height; width; height; nets;
     wires = List.rev !wires; vias = List.rev !vias;

@@ -16,8 +16,11 @@ type result = {
   f3db_mhz : float;
   critical_bit : int;
   area : float;
+  telemetry : Telemetry.Summary.t;
   elapsed_place_route_s : float;
 }
+
+let elapsed_place_route_s r = r.elapsed_place_route_s
 
 let default_parallel ~bits style =
   match style with
@@ -25,15 +28,26 @@ let default_parallel ~bits style =
     Ccroute.Layout.msb_parallel ~bits ~p:2
   | Ccplace.Style.Chessboard | Ccplace.Style.Rowwise -> fun _ -> 1
 
+(* One flow stage: a span named after the stage plus the per-stage wall
+   time gauge, both on the monotonic clock. *)
+let stage ?(attrs = []) name f =
+  let t0 = Telemetry.Clock.now_ns () in
+  Telemetry.Span.with_ ~attrs ~name (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.Metrics.set ~label:name "flow/stage_seconds"
+            (Telemetry.Clock.since_s t0))
+        f)
+
 (* The verification gate: nothing leaves place-and-route for extraction
    unless the registry linter signs off on tech, placement and layout.
    Rejection raises [Verify.Engine.Rejected] carrying every diagnostic. *)
 let verify_layout ~what (layout : Ccroute.Layout.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
   let diags = Verify.Engine.check_artifacts layout in
   Log.debug (fun m ->
       m "%s: verification %.3f ms (%d diagnostics)" what
-        (1e3 *. (Unix.gettimeofday () -. t0))
+        (1e3 *. Telemetry.Clock.since_s t0)
         (List.length diags));
   Verify.Engine.assert_clean ~what diags
 
@@ -42,39 +56,48 @@ let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ?(verify = true)
   let parallel =
     Option.value parallel ~default:(default_parallel ~bits style)
   in
-  let t0 = Unix.gettimeofday () in
-  let placement = Ccplace.Style.place ~bits style in
-  let t_place = Unix.gettimeofday () in
-  let layout = Ccroute.Layout.route tech ~p_of_cap:parallel placement in
-  let t1 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
+  let placement = stage "place" (fun () -> Ccplace.Style.place ~bits style) in
+  let t_place = Telemetry.Clock.now_ns () in
+  let layout =
+    stage "route" (fun () ->
+        Ccroute.Layout.route tech ~p_of_cap:parallel placement)
+  in
+  (* Table III measurement: the clock stops before the verification gate
+     runs, so linting never skews place+route timings. *)
+  let t1 = Telemetry.Clock.now_ns () in
   if verify then
-    verify_layout
-      ~what:(Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits)
-      layout;
+    stage "verify" (fun () ->
+        verify_layout
+          ~what:(Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits)
+          layout);
   Log.debug (fun m ->
       m "%s %d-bit: place %.3f ms, route %.3f ms (%d groups, %d tracks)"
         (Ccplace.Style.name style) bits
-        (1e3 *. (t_place -. t0))
-        (1e3 *. (t1 -. t_place))
+        (1e-6 *. Int64.to_float (Int64.sub t_place t0))
+        (1e-6 *. Int64.to_float (Int64.sub t1 t_place))
         (List.length layout.Ccroute.Layout.groups)
         (Ccroute.Plan.total_tracks layout.Ccroute.Layout.plan));
-  (layout, t1 -. t0)
+  (layout, Telemetry.Clock.to_s (Int64.sub t1 t0))
 
 (* analysis shared by [run] and [run_placement] *)
 let analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout =
   let placement = layout.Ccroute.Layout.placement in
   let bits = placement.Ccgrid.Placement.bits in
-  let t0 = Unix.gettimeofday () in
-  let parasitics = Extract.Parasitics.extract layout in
+  let t0 = Telemetry.Clock.now_ns () in
+  let parasitics =
+    stage "extract" (fun () -> Extract.Parasitics.extract layout)
+  in
   let nonlinearity =
-    Dacmodel.Nonlinearity.analyze tech ?theta ?sign_mode
-      ~top_parasitic:parasitics.Extract.Parasitics.total_top_cap placement
+    stage "analyse" (fun () ->
+        Dacmodel.Nonlinearity.analyze tech ?theta ?sign_mode
+          ~top_parasitic:parasitics.Extract.Parasitics.total_top_cap placement)
   in
   let tau_fs = parasitics.Extract.Parasitics.critical_elmore_fs in
   Log.debug (fun m ->
       m "%s %d-bit: extraction + nonlinearity %.3f ms (critical C_%d, tau %.1f ps)"
         (Ccplace.Style.name style) bits
-        (1e3 *. (Unix.gettimeofday () -. t0))
+        (1e3 *. Telemetry.Clock.since_s t0)
         parasitics.Extract.Parasitics.critical_bit (tau_fs /. 1e3));
   { style;
     bits;
@@ -89,12 +112,29 @@ let analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout =
     f3db_mhz = Dacmodel.Speed.f3db_mhz ~bits ~tau_fs;
     critical_bit = parasitics.Extract.Parasitics.critical_bit;
     area = parasitics.Extract.Parasitics.area;
+    telemetry = Telemetry.Summary.empty;
     elapsed_place_route_s = elapsed }
+
+(* Record one flow invocation: fresh metric scope + span collector around
+   [f], then derive the compatibility runtime from the stage table so
+   [elapsed_place_route_s] is exactly place + route — the verification
+   gate and the analysis stages can never leak into it. *)
+let recorded ~attrs f =
+  let r, telemetry = Telemetry.Summary.record ~attrs ~name:"flow" f in
+  { r with
+    telemetry;
+    elapsed_place_route_s = Telemetry.Summary.place_route_seconds telemetry }
 
 let run ?(tech = Tech.Process.finfet_12nm) ?parallel ?verify ?sign_mode ?theta
     ~bits style =
-  let layout, elapsed = place_route ~tech ?parallel ?verify ~bits style in
-  analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout
+  recorded
+    ~attrs:
+      [ ("style", Telemetry.Span.Str (Ccplace.Style.name style));
+        ("bits", Telemetry.Span.Int bits) ]
+    (fun () ->
+       Telemetry.Metrics.incr "flow/runs_total";
+       let layout, elapsed = place_route ~tech ?parallel ?verify ~bits style in
+       analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout)
 
 let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel
     ?(verify = true) ?sign_mode ?theta ?(style = Ccplace.Style.Spiral)
@@ -111,13 +151,24 @@ let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel
   let parallel =
     Option.value parallel ~default:(default_parallel ~bits style)
   in
-  let t0 = Unix.gettimeofday () in
-  let layout = Ccroute.Layout.route tech ~p_of_cap:parallel placement in
-  let elapsed = Unix.gettimeofday () -. t0 in
-  if verify then
-    verify_layout
-      ~what:
-        (Printf.sprintf "%s %d-bit (prebuilt placement)"
-           placement.Ccgrid.Placement.style_name bits)
-      layout;
-  analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout
+  recorded
+    ~attrs:
+      [ ( "style",
+          Telemetry.Span.Str placement.Ccgrid.Placement.style_name );
+        ("bits", Telemetry.Span.Int bits) ]
+    (fun () ->
+       Telemetry.Metrics.incr "flow/runs_total";
+       let t0 = Telemetry.Clock.now_ns () in
+       let layout =
+         stage "route" (fun () ->
+             Ccroute.Layout.route tech ~p_of_cap:parallel placement)
+       in
+       let elapsed = Telemetry.Clock.since_s t0 in
+       if verify then
+         stage "verify" (fun () ->
+             verify_layout
+               ~what:
+                 (Printf.sprintf "%s %d-bit (prebuilt placement)"
+                    placement.Ccgrid.Placement.style_name bits)
+               layout);
+       analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout)

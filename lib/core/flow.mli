@@ -21,8 +21,19 @@ type result = {
   f3db_mhz : float;          (** Eq. 16 *)
   critical_bit : int;
   area : float;              (** um^2 *)
-  elapsed_place_route_s : float;  (** wall-clock of place+route (Table III) *)
+  telemetry : Telemetry.Summary.t;
+      (** per-stage spans and metrics for this run (see docs/TELEMETRY.md);
+          {!Telemetry.Summary.empty} when the result was built outside
+          {!run} / {!run_placement} *)
+  elapsed_place_route_s : float;
+      (** monotonic wall-clock of place+route (Table III), derived from
+          [telemetry]: exactly the place and route stage times, excluding
+          the verification gate and analysis *)
 }
+
+(** [elapsed_place_route_s r] — accessor for the Table III runtime; kept
+    as a stable name now that per-stage timings live in [r.telemetry]. *)
+val elapsed_place_route_s : result -> float
 
 (** [run ?tech ?parallel ?verify ?sign_mode ?theta ~bits style].
 

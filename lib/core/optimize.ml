@@ -15,6 +15,11 @@ let scale_tech (tech : Tech.Process.t) ~unit_cap =
 
 let evaluate ?(tech = Tech.Process.finfet_12nm) ?(trials = 200) ?(bound = 0.5)
     ~bits ~style ~unit_cap () =
+  Telemetry.Span.with_ ~name:"optimize.evaluate"
+    ~attrs:
+      [ ("bits", Telemetry.Span.Int bits);
+        ("unit_cap_ff", Telemetry.Span.Float unit_cap) ]
+  @@ fun () ->
   let tech = scale_tech tech ~unit_cap in
   let r = Flow.run ~tech ~bits style in
   let mc =
@@ -28,6 +33,9 @@ let minimum_unit_cap ?tech ?trials ?bound ?(target_yield = 0.99) ~bits ~style
     candidates =
   if target_yield < 0. || target_yield > 1. then
     invalid_arg "Optimize.minimum_unit_cap: target_yield must be in [0, 1]";
+  Telemetry.Span.with_ ~name:"optimize.sizing"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
   let rec walk trace = function
     | [] -> (None, List.rev trace)
     | unit_cap :: rest ->

@@ -1,6 +1,9 @@
 let acceptable r = r.Flow.max_inl <= 0.5 && r.Flow.max_dnl <= 0.5
 
 let best_block ?tech ?sign_mode ~bits () =
+  Telemetry.Span.with_ ~name:"sweep.best_block"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
   let candidates =
     List.map
       (fun style -> Flow.run ?tech ?sign_mode ~bits style)
@@ -27,11 +30,17 @@ let paper_methods =
   [ Ccplace.Style.Rowwise; Ccplace.Style.Chessboard; Ccplace.Style.Spiral ]
 
 let row ?tech ?sign_mode ~bits () =
+  Telemetry.Span.with_ ~name:"sweep.row"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
   List.map (fun style -> Flow.run ?tech ?sign_mode ~bits style) paper_methods
   @ [ best_block ?tech ?sign_mode ~bits () ]
 
 let frontier ?(tech = Tech.Process.finfet_12nm) ?(style = Ccplace.Style.Spiral)
     ~bits budgets =
+  Telemetry.Span.with_ ~name:"sweep.frontier"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
   let placement = Ccplace.Style.place ~bits style in
   List.map
     (fun budget ->
@@ -47,6 +56,9 @@ let frontier ?(tech = Tech.Process.finfet_12nm) ?(style = Ccplace.Style.Spiral)
     budgets
 
 let parallel_sweep ?tech ~bits ~style ks =
+  Telemetry.Span.with_ ~name:"sweep.parallel"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
   List.map
     (fun k ->
        if k < 1 then invalid_arg "Sweep.parallel_sweep: k must be >= 1";

@@ -63,6 +63,10 @@ let percentile sorted q =
   end
 
 let run tech ?seed ?theta ?top_parasitic ?(bound = 0.5) ~trials placement =
+  Telemetry.Span.with_ ~name:"analyse.montecarlo"
+    ~attrs:[ ("trials", Telemetry.Span.Int trials) ]
+  @@ fun () ->
+  Telemetry.Metrics.incr ~n:trials "analyse/mc_trials_total";
   let curves = trial_curves tech ?seed ?theta ?top_parasitic ~trials placement in
   let inls = Array.of_list (List.map fst curves) in
   let dnls = Array.of_list (List.map snd curves) in

@@ -91,6 +91,10 @@ let dnl_codes tech (placement : Ccgrid.Placement.t) ~sys ~cov ~sigma_t
 let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
     placement =
   let bits = placement.Ccgrid.Placement.bits in
+  Telemetry.Span.with_ ~name:"analyse.nonlinearity"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
+  Telemetry.Metrics.set "analyse/codes" (float_of_int (Transfer.num_codes ~bits));
   let positions = Ccgrid.Placement.positions_by_cap tech placement in
   let systematic_shift =
     match profile with

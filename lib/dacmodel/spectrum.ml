@@ -78,6 +78,9 @@ let of_curve ~bits ~vout ?(samples = 4096) ?(cycles = 63) () =
 
 let analyze tech ?theta ?sample ?samples placement =
   let bits = placement.Ccgrid.Placement.bits in
+  Telemetry.Span.with_ ~name:"analyse.spectrum"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
   let caps = Sar.capacitor_values tech ?theta ?sample placement in
   let c_t = Array.fold_left ( +. ) 0. caps in
   let vout =

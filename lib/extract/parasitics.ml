@@ -3,6 +3,7 @@ open Ccroute
 type bit_metrics = {
   bm_cap : int;
   bm_via_cuts : int;
+  bm_bends : int;
   bm_wirelength : float;
   bm_via_resistance : float;
   bm_wire_resistance : float;
@@ -16,6 +17,7 @@ type t = {
   total_wire_cap : float;
   total_coupling_cap : float;
   total_via_cuts : int;
+  total_bends : int;
   total_wirelength : float;
   critical_bit : int;
   critical_elmore_fs : float;
@@ -57,9 +59,29 @@ let bit_metrics layout cap =
            c +. Tech.Parallel.wire_capacitance layer ~length:len ~p:w.Layout.w_p ))
       (0., 0.) wires
   in
+  (* bends: orthogonal same-net junctions — each stub landing on its
+     trunk, plus each trunk landing on the bridge.  The driver via is a
+     layer change at the array edge, not a direction change. *)
+  let bends =
+    let net = layout.Layout.nets.(cap) in
+    List.fold_left
+      (fun acc (tk : Layout.trunk) -> acc + List.length tk.Layout.tk_attaches)
+      0 net.Layout.cn_trunks
+    + (match net.Layout.cn_bridge_y with
+       | Some _ -> List.length net.Layout.cn_trunks
+       | None -> 0)
+  in
   let net = Netbuild.build layout ~cap in
+  if Telemetry.Metrics.enabled () then begin
+    let label = Printf.sprintf "C%d" cap in
+    Telemetry.Metrics.incr "extract/nets_total";
+    Telemetry.Metrics.set ~label "extract/via_cuts" (float_of_int via_cuts);
+    Telemetry.Metrics.set ~label "extract/bends" (float_of_int bends);
+    Telemetry.Metrics.set ~label "extract/wirelength_um" wirelength
+  end;
   { bm_cap = cap;
     bm_via_cuts = via_cuts;
+    bm_bends = bends;
     bm_wirelength = wirelength;
     bm_via_resistance = via_resistance;
     bm_wire_resistance = wire_resistance;
@@ -100,12 +122,20 @@ let coupling_cap layout =
 
 let extract layout =
   let bits = layout.Layout.placement.Ccgrid.Placement.bits in
-  let per_bit = Array.init (bits + 1) (bit_metrics layout) in
+  let per_bit =
+    Array.init (bits + 1) (fun cap ->
+        Telemetry.Span.with_ ~name:"extract.bit"
+          ~attrs:[ ("cap", Telemetry.Span.Int cap) ]
+          (fun () -> bit_metrics layout cap))
+  in
   let total_wire_cap =
     Array.fold_left (fun acc m -> acc +. m.bm_wire_cap) 0. per_bit
   in
   let total_via_cuts =
     Array.fold_left (fun acc m -> acc + m.bm_via_cuts) 0 per_bit
+  in
+  let total_bends =
+    Array.fold_left (fun acc m -> acc + m.bm_bends) 0 per_bit
   in
   let total_wirelength =
     Array.fold_left (fun acc m -> acc +. m.bm_wirelength) 0. per_bit
@@ -122,6 +152,7 @@ let extract layout =
     total_wire_cap;
     total_coupling_cap = coupling_cap layout;
     total_via_cuts;
+    total_bends;
     total_wirelength;
     critical_bit;
     critical_elmore_fs;

@@ -14,6 +14,8 @@
 type bit_metrics = {
   bm_cap : int;
   bm_via_cuts : int;          (** physical via cuts ([p^2] per junction) *)
+  bm_bends : int;             (** orthogonal same-net junctions: stub-trunk
+                                  attaches + bridge landings *)
   bm_wirelength : float;      (** um of physical metal *)
   bm_via_resistance : float;  (** ohm, sum of junction resistances *)
   bm_wire_resistance : float; (** ohm, sum over wires of r l / p *)
@@ -27,6 +29,7 @@ type t = {
   total_wire_cap : float;        (** sum C^wire, fF *)
   total_coupling_cap : float;    (** sum C^BB, fF *)
   total_via_cuts : int;          (** sum N_V *)
+  total_bends : int;             (** sum of per-net bends *)
   total_wirelength : float;      (** sum L, um *)
   critical_bit : int;
   critical_elmore_fs : float;

@@ -44,6 +44,12 @@ let orient tree ~root =
 
 let delays tree ~root =
   let n = Rctree.num_nodes tree in
+  if Telemetry.Metrics.enabled () then begin
+    Telemetry.Metrics.incr "rcnet/elmore_solves_total";
+    Telemetry.Metrics.observe "rcnet/nodes" (float_of_int n);
+    Telemetry.Metrics.observe "rcnet/edges"
+      (float_of_int (Rctree.num_edges tree))
+  end;
   let { parent; parent_r; order } = orient tree ~root in
   let subtree = Array.init n (fun i -> Rctree.node_cap tree (Rctree.node_of_int tree i)) in
   (* bottom-up: reverse BFS order *)

@@ -101,6 +101,7 @@ let simulate tree ~root ~vstep ~dt_fs ~steps =
     times.(s) <- float_of_int s *. dt_fs;
     voltages.(s) <- Array.copy v
   done;
+  Telemetry.Metrics.incr ~n:steps "rcnet/transient_steps_total";
   { times_fs = times; voltages }
 
 let settling_time_fs tree ~root ~vstep ~tolerance ~node =
@@ -124,6 +125,7 @@ let settling_time_fs tree ~root ~vstep ~tolerance ~node =
       let next = Array.make n 0. in
       step solver ~dt_fs ~vstep v next a b;
       Array.blit next 0 v 0 n;
+      Telemetry.Metrics.incr "rcnet/transient_steps_total";
       if Float.abs (vstep -. v.(node_i)) <= target then
         float_of_int s *. dt_fs
       else advance (s + 1)

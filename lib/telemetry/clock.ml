@@ -1,0 +1,11 @@
+external now_ns : unit -> int64 = "ccdac_telemetry_monotonic_ns"
+
+let since_ns t0 =
+  let d = Int64.sub (now_ns ()) t0 in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let to_s ns = Int64.to_float ns /. 1e9
+
+let to_us ns = Int64.to_float ns /. 1e3
+
+let since_s t0 = to_s (since_ns t0)

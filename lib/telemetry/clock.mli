@@ -1,0 +1,22 @@
+(** Monotonic clock, nanosecond resolution.
+
+    All telemetry durations come from this clock (CLOCK_MONOTONIC via a C
+    stub), never from wall time: wall clocks jump under NTP slew and
+    suspend/resume, and a runtime measurement that can go negative is
+    worse than none.  The absolute value is meaningful only for
+    differences within one process. *)
+
+(** [now_ns ()] is the current monotonic time in nanoseconds. *)
+val now_ns : unit -> int64
+
+(** [since_ns t0] is [now_ns () - t0], clamped to be non-negative. *)
+val since_ns : int64 -> int64
+
+(** [to_s ns] converts nanoseconds to seconds. *)
+val to_s : int64 -> float
+
+(** [to_us ns] converts nanoseconds to microseconds (Chrome-trace unit). *)
+val to_us : int64 -> float
+
+(** [since_s t0] is [to_s (since_ns t0)]. *)
+val since_s : int64 -> float

@@ -1,0 +1,20 @@
+/* Monotonic clock for span timing: wall time jumps (NTP, suspend) must
+   never produce negative or skewed durations, so CLOCK_MONOTONIC is the
+   only acceptable source.  Falls back to CLOCK_REALTIME on the (ancient)
+   platforms without it. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ccdac_telemetry_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    clock_gettime(CLOCK_REALTIME, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

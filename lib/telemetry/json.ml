@@ -1,0 +1,228 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- emitter --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else if Float.is_finite f then
+    Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else Buffer.add_string buf "null"
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s -> Buffer.add_string buf (escape s)
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_string buf ", ";
+         add buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_string buf ", ";
+         Buffer.add_string buf (escape k);
+         Buffer.add_string buf ": ";
+         add buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  add buf j;
+  Buffer.contents buf
+
+(* --- parser: recursive descent over a string --- *)
+
+exception Fail of string
+
+type state = {
+  src : string;
+  mutable pos : int;
+}
+
+let error st msg = raise (Fail (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st; go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> error st (Printf.sprintf "expected %c, found %c" c d)
+  | None -> error st (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src
+     && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+(* encode one Unicode scalar value as UTF-8 *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char buf '"'; advance st
+       | Some '\\' -> Buffer.add_char buf '\\'; advance st
+       | Some '/' -> Buffer.add_char buf '/'; advance st
+       | Some 'b' -> Buffer.add_char buf '\b'; advance st
+       | Some 'f' -> Buffer.add_char buf '\012'; advance st
+       | Some 'n' -> Buffer.add_char buf '\n'; advance st
+       | Some 'r' -> Buffer.add_char buf '\r'; advance st
+       | Some 't' -> Buffer.add_char buf '\t'; advance st
+       | Some 'u' ->
+         advance st;
+         if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+         let hex = String.sub st.src st.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | Some u -> add_utf8 buf u; st.pos <- st.pos + 4
+          | None -> error st "bad \\u escape")
+       | Some c -> error st (Printf.sprintf "bad escape \\%c" c)
+       | None -> error st "unterminated escape");
+      go ()
+    | Some c -> Buffer.add_char buf c; advance st; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when number_char c -> advance st; go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error st (Printf.sprintf "bad number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin advance st; Obj [] end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; members ((k, v) :: acc)
+        | Some '}' -> advance st; Obj (List.rev ((k, v) :: acc))
+        | _ -> error st "expected , or } in object"
+      in
+      members []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin advance st; Arr [] end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; elements (v :: acc)
+        | Some ']' -> advance st; Arr (List.rev (v :: acc))
+        | _ -> error st "expected , or ] in array"
+      in
+      elements []
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number st)
+  | Some c -> error st (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length s then Ok v
+    else Error (Printf.sprintf "at offset %d: trailing garbage" st.pos)
+  | exception Fail msg -> Error msg
+
+(* --- accessors --- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | Null | Bool _ | Num _ | Str _ | Arr _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr xs -> Some xs | _ -> None

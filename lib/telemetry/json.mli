@@ -1,0 +1,35 @@
+(** Minimal JSON tree: emitter and parser.
+
+    The telemetry exporters (Chrome trace, metric dumps, profile tables)
+    emit JSON, and the test-suite must be able to parse what they wrote
+    to prove the files round-trip — without adding a JSON dependency the
+    toolchain does not ship.  This is deliberately small: UTF-8 strings
+    pass through verbatim, [\uXXXX] escapes decode to UTF-8, numbers are
+    OCaml floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [to_string j] is the compact serialisation.  Floats render as
+    integers when integral (["3"], not ["3."]); non-finite floats render
+    as [null] (JSON has no representation for them). *)
+val to_string : t -> string
+
+(** [escape s] is the quoted, escaped JSON string literal for [s]. *)
+val escape : string -> string
+
+(** [parse s] parses one JSON value (surrounding whitespace allowed;
+    trailing garbage is an error). *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

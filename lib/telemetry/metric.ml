@@ -1,0 +1,36 @@
+type kind =
+  | Counter
+  | Gauge
+  | Histogram of float array
+
+type t = {
+  id : string;
+  kind : kind;
+  stage : string;
+  unit_ : string;
+  cardinality : string;
+  doc : string;
+}
+
+let make ~id ~kind ~stage ~unit_ ~cardinality ~doc =
+  (match kind with
+   | Counter | Gauge -> ()
+   | Histogram bounds ->
+     if Array.length bounds = 0 then
+       invalid_arg (Printf.sprintf "Metric.make %s: empty histogram bounds" id);
+     Array.iteri
+       (fun i b ->
+          if not (Float.is_finite b) then
+            invalid_arg
+              (Printf.sprintf "Metric.make %s: non-finite histogram bound" id);
+          if i > 0 && b <= bounds.(i - 1) then
+            invalid_arg
+              (Printf.sprintf
+                 "Metric.make %s: histogram bounds not strictly increasing" id))
+       bounds);
+  { id; kind; stage; unit_; cardinality; doc }
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram _ -> "histogram"

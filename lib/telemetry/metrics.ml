@@ -1,0 +1,247 @@
+(* Cells are per-scope mutable accumulators keyed by (id, label). *)
+
+type cell =
+  | Ccell of { mutable count : int }
+  | Gcell of { mutable value : float }
+  | Hcell of {
+      bounds : float array;
+      counts : int array;       (* length bounds + 1: last = overflow *)
+      mutable sum : float;
+      mutable total : int;
+    }
+
+type store = (string * string option, cell) Hashtbl.t
+
+let scopes : store list ref = ref []
+
+let enabled () = !scopes <> []
+
+let lookup id =
+  match Registry.find id with
+  | Some def -> def
+  | None -> invalid_arg ("Telemetry.Metrics: unregistered metric id " ^ id)
+
+let kind_error id expected def =
+  invalid_arg
+    (Printf.sprintf "Telemetry.Metrics: %s is a %s, not a %s" id
+       (Metric.kind_name def.Metric.kind)
+       expected)
+
+let cell_of store def label =
+  let key = (def.Metric.id, label) in
+  match Hashtbl.find_opt store key with
+  | Some c -> c
+  | None ->
+    let c =
+      match def.Metric.kind with
+      | Metric.Counter -> Ccell { count = 0 }
+      | Metric.Gauge -> Gcell { value = 0. }
+      | Metric.Histogram bounds ->
+        Hcell
+          { bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            sum = 0.;
+            total = 0 }
+    in
+    Hashtbl.replace store key c;
+    c
+
+let incr ?(n = 1) ?label id =
+  if enabled () then begin
+    let def = lookup id in
+    List.iter
+      (fun store ->
+         match cell_of store def label with
+         | Ccell c -> c.count <- c.count + n
+         | Gcell _ | Hcell _ -> kind_error id "counter" def)
+      !scopes
+  end
+
+let set ?label id v =
+  if enabled () then begin
+    let def = lookup id in
+    List.iter
+      (fun store ->
+         match cell_of store def label with
+         | Gcell c -> c.value <- v
+         | Ccell _ | Hcell _ -> kind_error id "gauge" def)
+      !scopes
+  end
+
+(* First bucket whose upper bound admits v (upper-inclusive edges);
+   overflow bucket when v exceeds every bound. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?label id v =
+  if enabled () then begin
+    let def = lookup id in
+    List.iter
+      (fun store ->
+         match cell_of store def label with
+         | Hcell c ->
+           let i = bucket_index c.bounds v in
+           c.counts.(i) <- c.counts.(i) + 1;
+           c.sum <- c.sum +. v;
+           c.total <- c.total + 1
+         | Ccell _ | Gcell _ -> kind_error id "histogram" def)
+      !scopes
+  end
+
+(* --- dumps --- *)
+
+type value =
+  | Count of int
+  | Value of float
+  | Dist of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      total : int;
+    }
+
+type point = {
+  metric : Metric.t;
+  label : string option;
+  value : value;
+}
+
+type dump = point list
+
+let empty = []
+
+let compare_label a b =
+  match a, b with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> String.compare x y
+
+let snapshot (store : store) : dump =
+  let pts =
+    Hashtbl.fold
+      (fun (id, label) cell acc ->
+         let metric =
+           match Registry.find id with
+           | Some def -> def
+           | None -> assert false (* enforced at write time *)
+         in
+         let value =
+           match cell with
+           | Ccell c -> Count c.count
+           | Gcell c -> Value c.value
+           | Hcell c ->
+             Dist
+               { bounds = c.bounds;
+                 counts = Array.copy c.counts;
+                 sum = c.sum;
+                 total = c.total }
+         in
+         { metric; label; value } :: acc)
+      store []
+  in
+  List.sort
+    (fun a b ->
+       match String.compare a.metric.Metric.id b.metric.Metric.id with
+       | 0 -> compare_label a.label b.label
+       | c -> c)
+    pts
+
+let collect f =
+  let store : store = Hashtbl.create 64 in
+  scopes := store :: !scopes;
+  Fun.protect
+    ~finally:(fun () -> scopes := List.filter (fun s -> s != store) !scopes)
+    (fun () ->
+       let x = f () in
+       (x, snapshot store))
+
+let points dump = dump
+
+let find ?label dump id =
+  List.find_map
+    (fun p ->
+       if String.equal p.metric.Metric.id id && compare_label p.label label = 0
+       then Some p.value
+       else None)
+    dump
+
+let counter ?label dump id =
+  match find ?label dump id with Some (Count n) -> n | Some _ | None -> 0
+
+let gauge ?label dump id =
+  match find ?label dump id with Some (Value v) -> Some v | Some _ | None -> None
+
+let labels dump id =
+  List.filter_map
+    (fun p -> if String.equal p.metric.Metric.id id then Some p.label else None)
+    dump
+
+(* --- rendering --- *)
+
+let point_name p =
+  match p.label with
+  | None -> p.metric.Metric.id
+  | Some l -> Printf.sprintf "%s{%s}" p.metric.Metric.id l
+
+let value_text unit_ = function
+  | Count n -> Printf.sprintf "%d" n
+  | Value v ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f%s" v (if unit_ = "1" then "" else " " ^ unit_)
+    else Printf.sprintf "%.6g%s" v (if unit_ = "1" then "" else " " ^ unit_)
+  | Dist d ->
+    let buckets =
+      String.concat ", "
+        (List.mapi
+           (fun i c ->
+              if i < Array.length d.bounds then
+                Printf.sprintf "<=%g: %d" d.bounds.(i) c
+              else Printf.sprintf ">%g: %d" d.bounds.(Array.length d.bounds - 1) c)
+           (Array.to_list d.counts))
+    in
+    Printf.sprintf "count=%d sum=%g [%s]" d.total d.sum buckets
+
+let to_text dump =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun p ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-42s %s\n" (point_name p)
+            (value_text p.metric.Metric.unit_ p.value)))
+    dump;
+  Buffer.contents buf
+
+let value_json = function
+  | Count n -> Json.Num (float_of_int n)
+  | Value v -> Json.Num v
+  | Dist d ->
+    let buckets =
+      List.mapi
+        (fun i c ->
+           Json.Obj
+             [ ( "le",
+                 if i < Array.length d.bounds then Json.Num d.bounds.(i)
+                 else Json.Str "+Inf" );
+               ("count", Json.Num (float_of_int c)) ])
+        (Array.to_list d.counts)
+    in
+    Json.Obj
+      [ ("count", Json.Num (float_of_int d.total));
+        ("sum", Json.Num d.sum);
+        ("buckets", Json.Arr buckets) ]
+
+let to_json dump =
+  Json.Arr
+    (List.map
+       (fun p ->
+          Json.Obj
+            [ ("id", Json.Str p.metric.Metric.id);
+              ( "label",
+                match p.label with None -> Json.Null | Some l -> Json.Str l );
+              ("kind", Json.Str (Metric.kind_name p.metric.Metric.kind));
+              ("unit", Json.Str p.metric.Metric.unit_);
+              ("value", value_json p.value) ])
+       dump)

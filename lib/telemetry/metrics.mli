@@ -1,0 +1,77 @@
+(** The runtime metrics store: counters, gauges and histograms recorded
+    against {!Registry} ids.
+
+    Collection is scoped: {!collect} pushes a fresh store, runs the
+    closure, and returns everything recorded inside as an immutable
+    {!dump}.  Scopes nest — every active scope receives every write, so
+    an outer scope (e.g. [ccgen profile] around a matrix of runs)
+    aggregates counters across the per-run scopes that [Flow.run] opens.
+    With no scope active, the recording entry points are no-ops costing
+    one list probe — the null default.
+
+    Recording against an id absent from {!Registry.all}, or with the
+    wrong kind, raises [Invalid_argument]: the catalogue is the contract.
+
+    [label] selects the series within a metric whose cardinality is not
+    1 (e.g. [~label:"C3"] for per-capacitor metrics); unlabelled and
+    labelled series of the same id are distinct. *)
+
+(** [enabled ()] is true when at least one scope is collecting. *)
+val enabled : unit -> bool
+
+(** [incr ?n ?label id] adds [n] (default 1) to a counter. *)
+val incr : ?n:int -> ?label:string -> string -> unit
+
+(** [set ?label id v] writes a gauge. *)
+val set : ?label:string -> string -> float -> unit
+
+(** [observe ?label id v] records [v] into a histogram's buckets. *)
+val observe : ?label:string -> string -> float -> unit
+
+(** {2 Dumps} *)
+
+type value =
+  | Count of int
+  | Value of float
+  | Dist of {
+      bounds : float array;   (** upper bucket bounds, as declared *)
+      counts : int array;     (** length [Array.length bounds + 1]; the
+                                  last entry is the overflow bucket *)
+      sum : float;
+      total : int;
+    }
+
+type point = {
+  metric : Metric.t;
+  label : string option;
+  value : value;
+}
+
+(** Immutable snapshot of one scope, sorted by (id, label). *)
+type dump = point list
+
+val empty : dump
+
+(** [collect f] runs [f] with a fresh scope active and returns its result
+    together with everything recorded. *)
+val collect : (unit -> 'a) -> 'a * dump
+
+val points : dump -> point list
+
+(** [find ?label dump id]. *)
+val find : ?label:string -> dump -> string -> value option
+
+(** [counter ?label dump id] is the count, 0 when never incremented. *)
+val counter : ?label:string -> dump -> string -> int
+
+(** [gauge ?label dump id]. *)
+val gauge : ?label:string -> dump -> string -> float option
+
+(** [labels dump id] is the sorted labels recorded against [id]. *)
+val labels : dump -> string -> string option list
+
+(** [to_text dump] is the aligned human-readable dump. *)
+val to_text : dump -> string
+
+(** [to_json dump] is the machine-readable dump (see docs/TELEMETRY.md). *)
+val to_json : dump -> Json.t

@@ -1,0 +1,109 @@
+(* The catalogue.  Keep docs/TELEMETRY.md in sync: it is the rendered
+   form of exactly this list. *)
+
+let m = Metric.make
+
+let size_buckets = [| 4.; 16.; 64.; 256.; 1024.; 4096. |]
+
+let definitions =
+  [ (* flow *)
+    m ~id:"flow/runs_total" ~kind:Metric.Counter ~stage:"flow" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Completed Flow.run / Flow.run_placement invocations.";
+    m ~id:"flow/stage_seconds" ~kind:Metric.Gauge ~stage:"flow" ~unit_:"s"
+      ~cardinality:"per stage (place, route, verify, extract, analyse)"
+      ~doc:"Monotonic wall time of the last run's stage.";
+    (* place *)
+    m ~id:"place/cells" ~kind:Metric.Gauge ~stage:"place" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Grid size (rows x cols) of the placement just built.";
+    m ~id:"place/refine_passes_total" ~kind:Metric.Counter ~stage:"place"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"Full sweeps executed by the mirror-pair swap refinement.";
+    m ~id:"place/refine_swaps_total" ~kind:Metric.Counter ~stage:"place"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"Swaps accepted by the mirror-pair swap refinement.";
+    (* route *)
+    m ~id:"route/groups" ~kind:Metric.Gauge ~stage:"route" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Connected groups formed over all capacitors of the last routed \
+            layout.";
+    m ~id:"route/tracks" ~kind:Metric.Gauge ~stage:"route" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Total trunk tracks allocated across channels.";
+    m ~id:"route/wires" ~kind:Metric.Gauge ~stage:"route" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Wire segments emitted (branches, stubs, trunks, bridges).";
+    m ~id:"route/vias" ~kind:Metric.Gauge ~stage:"route" ~unit_:"1"
+      ~cardinality:"1" ~doc:"Via junctions emitted.";
+    m ~id:"route/check_violations_total" ~kind:Metric.Counter ~stage:"route"
+      ~unit_:"1" ~cardinality:"per check rule"
+      ~doc:"Post-route structural check violations, by rule id.";
+    (* verify *)
+    m ~id:"verify/checks_total" ~kind:Metric.Counter ~stage:"verify"
+      ~unit_:"1" ~cardinality:"per artifact (tech, style, placement, layout)"
+      ~doc:"Verification passes executed, by audited artifact kind.";
+    m ~id:"verify/rule_fired_total" ~kind:Metric.Counter ~stage:"verify"
+      ~unit_:"1" ~cardinality:"per rule"
+      ~doc:"Diagnostics emitted by the rule-registry linter, by rule id.";
+    (* extract *)
+    m ~id:"extract/via_cuts" ~kind:Metric.Gauge ~stage:"extract" ~unit_:"1"
+      ~cardinality:"per capacitor (C0..CN)"
+      ~doc:"Physical via cuts of the capacitor's net (p^2 per junction).";
+    m ~id:"extract/wirelength_um" ~kind:Metric.Gauge ~stage:"extract"
+      ~unit_:"um" ~cardinality:"per capacitor (C0..CN)"
+      ~doc:"Routed physical metal of the capacitor's net.";
+    m ~id:"extract/bends" ~kind:Metric.Gauge ~stage:"extract" ~unit_:"1"
+      ~cardinality:"per capacitor (C0..CN)"
+      ~doc:"Orthogonal junctions (stub-trunk attaches plus bridge \
+            landings) of the capacitor's net.";
+    m ~id:"extract/nets_total" ~kind:Metric.Counter ~stage:"extract"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"Per-capacitor nets extracted.";
+    (* rcnet (runs inside the extract stage) *)
+    m ~id:"rcnet/elmore_solves_total" ~kind:Metric.Counter ~stage:"extract"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"Elmore delay solves (one tree orientation + two sweeps each).";
+    m ~id:"rcnet/nodes" ~kind:Metric.(Histogram size_buckets) ~stage:"extract"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"RC tree node count per Elmore solve.";
+    m ~id:"rcnet/edges" ~kind:Metric.(Histogram size_buckets) ~stage:"extract"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"RC tree edge count per Elmore solve.";
+    m ~id:"rcnet/transient_steps_total" ~kind:Metric.Counter ~stage:"extract"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"Backward-Euler steps taken by the transient solver.";
+    (* analyse *)
+    m ~id:"analyse/codes" ~kind:Metric.Gauge ~stage:"analyse" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"DAC codes evaluated by the last nonlinearity analysis (2^N).";
+    m ~id:"analyse/mc_trials_total" ~kind:Metric.Counter ~stage:"analyse"
+      ~unit_:"1" ~cardinality:"1"
+      ~doc:"Monte-Carlo mismatch trials evaluated." ]
+
+let all =
+  let sorted =
+    List.sort (fun a b -> String.compare a.Metric.id b.Metric.id) definitions
+  in
+  let rec dup = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a.Metric.id b.Metric.id then Some a.Metric.id
+      else dup rest
+    | [ _ ] | [] -> None
+  in
+  match dup sorted with
+  | Some id -> invalid_arg ("Telemetry.Registry: duplicate metric id " ^ id)
+  | None -> sorted
+
+let table =
+  lazy
+    (let t = Hashtbl.create 64 in
+     List.iter (fun def -> Hashtbl.replace t def.Metric.id def) all;
+     t)
+
+let find id = Hashtbl.find_opt (Lazy.force table) id
+
+let ids = List.map (fun def -> def.Metric.id) all
+
+let by_stage stage =
+  List.filter (fun def -> String.equal def.Metric.stage stage) all

@@ -1,0 +1,68 @@
+type t = {
+  on_span : Span.complete -> unit;
+  close : unit -> unit;
+}
+
+let null = { on_span = (fun _ -> ()); close = (fun () -> ()) }
+
+let text ?(ppf = Format.err_formatter) () =
+  let on_span (c : Span.complete) =
+    Format.fprintf ppf "%s%-24s %10.3f ms%a@."
+      (String.make (2 * c.Span.depth) ' ')
+      c.Span.name
+      (Clock.to_us c.Span.duration_ns /. 1e3)
+      (fun ppf attrs ->
+         List.iter
+           (fun (k, v) -> Format.fprintf ppf "  %s=%a" k Span.pp_value v)
+           attrs)
+      c.Span.attrs
+  in
+  { on_span; close = (fun () -> Format.pp_print_flush ppf ()) }
+
+let event_json (c : Span.complete) =
+  let base =
+    [ ("name", Json.Str c.Span.name);
+      ("cat", Json.Str "ccdac");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (Clock.to_us c.Span.start_ns));
+      ("dur", Json.Num (Clock.to_us c.Span.duration_ns));
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num 1.) ]
+  in
+  let args =
+    match c.Span.attrs with
+    | [] -> []
+    | attrs ->
+      [ ( "args",
+          Json.Obj (List.map (fun (k, v) -> (k, Span.json_value v)) attrs) ) ]
+  in
+  Json.Obj (base @ args)
+
+let events_json spans =
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.map event_json spans));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let chrome_trace ~path =
+  let buf = ref [] in
+  let closed = ref false in
+  let on_span c = if not !closed then buf := c :: !buf in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      let spans =
+        List.sort
+          (fun (a : Span.complete) b -> Int.compare a.Span.seq b.Span.seq)
+          !buf
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Json.to_string (events_json spans)))
+    end
+  in
+  { on_span; close }
+
+let with_ sink f =
+  Span.with_sink sink.on_span (fun () ->
+      Fun.protect ~finally:sink.close f)

@@ -1,0 +1,34 @@
+(** Span sinks: where completed spans go.
+
+    Three are provided, matching the three ways to consume a trace:
+    {!null} (drop everything — combined with the fast path in
+    {!Span.with_} this is the zero-overhead default), {!text} (one
+    indented line per span, for terminal debugging), and {!chrome_trace}
+    (the Chrome [trace_event] JSON format, loadable in [chrome://tracing]
+    and {{:https://ui.perfetto.dev}Perfetto}). *)
+
+type t = {
+  on_span : Span.complete -> unit;
+  close : unit -> unit;  (** flush and release resources; idempotent *)
+}
+
+(** Drops every span. *)
+val null : t
+
+(** [text ?ppf ()] prints ["<indent>name  dur  attrs"] lines as spans
+    complete (children before parents — completion order).  Default
+    formatter: stderr. *)
+val text : ?ppf:Format.formatter -> unit -> t
+
+(** [chrome_trace ~path] buffers spans and, on [close], writes a Chrome
+    [trace_event] JSON object ([{"traceEvents": [...]}], complete
+    ["ph": "X"] events, microsecond timestamps) to [path]. *)
+val chrome_trace : path:string -> t
+
+(** [events_json spans] is the Chrome [trace_event] document for an
+    already-collected span list (what {!chrome_trace} writes). *)
+val events_json : Span.complete list -> Json.t
+
+(** [with_ sink f] installs [sink] for the duration of [f] and closes it
+    afterwards (also on exceptions). *)
+val with_ : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,82 @@
+type value =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+
+type complete = {
+  name : string;
+  attrs : (string * value) list;
+  start_ns : int64;
+  duration_ns : int64;
+  depth : int;
+  parent : string option;
+  seq : int;
+}
+
+type sink_id = int
+
+let sinks : (sink_id * (complete -> unit)) list ref = ref []
+let collectors : complete list ref list ref = ref []
+let stack : string list ref = ref []
+let next_seq = ref 0
+let next_sink = ref 0
+
+let active () = !sinks <> [] || !collectors <> []
+
+let deliver c =
+  List.iter (fun (_, k) -> k c) !sinks;
+  List.iter (fun buf -> buf := c :: !buf) !collectors
+
+let with_ ?(attrs = []) ~name f =
+  if not (active ()) then f ()
+  else begin
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    let depth = List.length !stack in
+    let seq = !next_seq in
+    incr next_seq;
+    stack := name :: !stack;
+    let start_ns = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let duration_ns = Clock.since_ns start_ns in
+        (match !stack with
+         | _ :: rest -> stack := rest
+         | [] -> ());
+        deliver { name; attrs; start_ns; duration_ns; depth; parent; seq })
+      f
+  end
+
+let add_sink k =
+  let id = !next_sink in
+  incr next_sink;
+  sinks := (id, k) :: !sinks;
+  id
+
+let remove_sink id = sinks := List.filter (fun (i, _) -> i <> id) !sinks
+
+let with_sink k f =
+  let id = add_sink k in
+  Fun.protect ~finally:(fun () -> remove_sink id) f
+
+let collect f =
+  let buf = ref [] in
+  collectors := buf :: !collectors;
+  let x =
+    Fun.protect
+      ~finally:(fun () -> collectors := List.filter (fun b -> b != buf) !collectors)
+      f
+  in
+  (x, List.sort (fun a b -> Int.compare a.seq b.seq) !buf)
+
+let pp_value ppf = function
+  | Str s -> Format.pp_print_string ppf s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+
+let json_value = function
+  | Str s -> Json.Str s
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Bool b -> Json.Bool b

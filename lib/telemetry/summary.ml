@@ -1,0 +1,72 @@
+type t = {
+  name : string;
+  attrs : (string * Span.value) list;
+  spans : Span.complete list;
+  metrics : Metrics.dump;
+  stages : (string * float) list;
+  total_s : float;
+}
+
+let empty =
+  { name = ""; attrs = []; spans = []; metrics = Metrics.empty; stages = [];
+    total_s = 0. }
+
+let record ?(attrs = []) ~name f =
+  let (x, metrics), spans =
+    Span.collect (fun () ->
+        Metrics.collect (fun () -> Span.with_ ~attrs ~name f))
+  in
+  (* The root is the shallowest span; its direct children are the
+     stages.  Depths are absolute (an enclosing CLI span deepens
+     everything uniformly), so work relative to the root's depth. *)
+  let root_depth =
+    List.fold_left (fun acc (s : Span.complete) -> Int.min acc s.Span.depth)
+      max_int spans
+  in
+  let root =
+    List.find_opt
+      (fun (s : Span.complete) ->
+         s.Span.depth = root_depth && String.equal s.Span.name name)
+      spans
+  in
+  let stages =
+    List.filter_map
+      (fun (s : Span.complete) ->
+         if s.Span.depth = root_depth + 1 && s.Span.parent = Some name then
+           Some (s.Span.name, Clock.to_s s.Span.duration_ns)
+         else None)
+      spans
+  in
+  let total_s =
+    match root with
+    | Some r -> Clock.to_s r.Span.duration_ns
+    | None -> 0.
+  in
+  (x, { name; attrs; spans; metrics; stages; total_s })
+
+let stage_seconds t name = List.assoc_opt name t.stages
+
+let stage_names t = List.map fst t.stages
+
+let seconds_or_0 t name = Option.value ~default:0. (stage_seconds t name)
+
+let place_route_seconds t = seconds_or_0 t "place" +. seconds_or_0 t "route"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %.3f ms total@,"
+    (if t.name = "" then "(empty)" else t.name)
+    (1e3 *. t.total_s);
+  List.iter
+    (fun (stage, s) -> Format.fprintf ppf "  %-10s %10.3f ms@," stage (1e3 *. s))
+    t.stages;
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  Json.Obj
+    [ ("name", Json.Str t.name);
+      ( "attrs",
+        Json.Obj (List.map (fun (k, v) -> (k, Span.json_value v)) t.attrs) );
+      ("total_s", Json.Num t.total_s);
+      ( "stages_s",
+        Json.Obj (List.map (fun (k, s) -> (k, Json.Num s)) t.stages) );
+      ("metrics", Metrics.to_json t.metrics) ]

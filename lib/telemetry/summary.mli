@@ -1,0 +1,46 @@
+(** Per-run telemetry summary: the span tree and metric dump of one
+    recorded region, plus the per-stage timing table derived from the
+    root span's direct children.
+
+    [Flow.run] records itself through {!record} and stores the result in
+    [Flow.result.telemetry]; the legacy [elapsed_place_route_s] float is
+    derived from it ({!place_route_seconds}) rather than measured by a
+    separate wall clock. *)
+
+type t = {
+  name : string;                      (** root span name, e.g. ["flow"] *)
+  attrs : (string * Span.value) list;
+  spans : Span.complete list;         (** pre-order (start order) *)
+  metrics : Metrics.dump;
+  stages : (string * float) list;     (** root's direct children: name ->
+                                          seconds, in execution order *)
+  total_s : float;                    (** root span duration *)
+}
+
+(** A summary with nothing in it (placeholder before {!record} runs). *)
+val empty : t
+
+(** [record ?attrs ~name f] runs [f] under a root span [name] with a
+    fresh metric scope and span collector, and derives the stage table.
+    Sinks installed outside still receive every span. *)
+val record :
+  ?attrs:(string * Span.value) list -> name:string -> (unit -> 'a) -> 'a * t
+
+(** [stage_seconds t name] is the duration of the named top-level stage,
+    if it ran. *)
+val stage_seconds : t -> string -> float option
+
+(** [stage_names t] in execution order. *)
+val stage_names : t -> string list
+
+(** [place_route_seconds t] is the sum of the ["place"] and ["route"]
+    stage durations — the Table III measurement.  The verification gate
+    and the analysis stages are deliberately excluded. *)
+val place_route_seconds : t -> float
+
+(** [pp ppf t] prints the per-stage breakdown. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_json t] carries the stage table and the metric dump (not the raw
+    spans — export those with {!Sink.chrome_trace}). *)
+val to_json : t -> Json.t

@@ -18,13 +18,36 @@ let () =
            shown)
     | _ -> None)
 
-let check_tech = Tech_rules.check
+(* Each stage checker is wrapped in a telemetry span and feeds the
+   per-rule fire counters, so both lint runs and flow-gate runs show up
+   in traces and metric dumps. *)
+let instrumented artifact diags =
+  if Telemetry.Metrics.enabled () then begin
+    Telemetry.Metrics.incr ~label:artifact "verify/checks_total";
+    List.iter
+      (fun (d : Diagnostic.t) ->
+         Telemetry.Metrics.incr ~label:d.Diagnostic.rule.Rule.id
+           "verify/rule_fired_total")
+      diags
+  end;
+  diags
 
-let check_style = Style_rules.check
+let check_tech tech =
+  Telemetry.Span.with_ ~name:"verify.tech" (fun () ->
+      instrumented "tech" (Tech_rules.check tech))
 
-let check_placement = Place_rules.check
+let check_style ~bits style =
+  Telemetry.Span.with_ ~name:"verify.style" (fun () ->
+      instrumented "style" (Style_rules.check ~bits style))
 
-let check_layout = Route_rules.check
+let check_placement ?centroid_tol ?dispersion_bound tech placement =
+  Telemetry.Span.with_ ~name:"verify.placement" (fun () ->
+      instrumented "placement"
+        (Place_rules.check ?centroid_tol ?dispersion_bound tech placement))
+
+let check_layout layout =
+  Telemetry.Span.with_ ~name:"verify.layout" (fun () ->
+      instrumented "layout" (Route_rules.check layout))
 
 let check_artifacts (layout : Ccroute.Layout.t) =
   let tech = layout.Ccroute.Layout.tech in

@@ -38,6 +38,28 @@ let test_custom_tech () =
   let r = Ccdac.Flow.run ~tech:Tech.Process.bulk_legacy ~bits:6 Ccplace.Style.Spiral in
   Alcotest.(check bool) "runs on bulk" true (r.Ccdac.Flow.f3db_mhz > 0.)
 
+(* The Table III runtime must be exactly the place and route stage times
+   on the monotonic clock — the verification gate runs on its own stage
+   and is excluded (it would otherwise bias the paper-comparable number
+   by the full lint cost). *)
+let test_elapsed_excludes_verify_gate () =
+  let r = run6 in
+  let t = r.Ccdac.Flow.telemetry in
+  let stage n =
+    match Telemetry.Summary.stage_seconds t n with
+    | Some s -> s
+    | None -> Alcotest.failf "stage %s missing" n
+  in
+  Alcotest.(check (float 1e-12)) "elapsed = place + route"
+    (stage "place" +. stage "route")
+    (Ccdac.Flow.elapsed_place_route_s r);
+  (* the gate did run and was timed — it is excluded, not skipped *)
+  Alcotest.(check bool) "verify stage present" true
+    (List.mem "verify" (Telemetry.Summary.stage_names t));
+  Alcotest.(check bool) "verify not in elapsed" true
+    (r.Ccdac.Flow.elapsed_place_route_s
+     <= t.Telemetry.Summary.total_s -. stage "verify" +. 1e-9)
+
 let test_run_placement_refined () =
   let placement = Ccplace.Spiral.place ~bits:6 in
   let refined, _ =
@@ -165,6 +187,8 @@ let () =
           Alcotest.test_case "parallel policy" `Quick test_default_parallel_policy;
           Alcotest.test_case "place_route" `Quick test_place_route_only;
           Alcotest.test_case "custom tech" `Quick test_custom_tech;
+          Alcotest.test_case "verify-gate time excluded" `Quick
+            test_elapsed_excludes_verify_gate;
           Alcotest.test_case "run_placement refined" `Quick test_run_placement_refined;
           Alcotest.test_case "run_placement general" `Quick test_run_placement_rejects_general_ratios ] );
       ( "sweep",
