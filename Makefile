@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint bench profile doc clean examples
+.PHONY: all build test lint lvs bench profile doc clean examples
 
 all: build
 
@@ -13,6 +13,12 @@ test:
 lint: build
 	dune runtest
 	dune exec bin/ccgen.exe -- lint --all
+
+# Sweepline connectivity certification of every shipped configuration
+# (docs/VERIFY.md); lvs.json is what CI uploads as an artifact.
+lvs: build
+	dune exec bin/ccgen.exe -- lvs --all --werror
+	dune exec bin/ccgen.exe -- lvs --all --json > lvs.json
 
 bench:
 	dune exec bench/main.exe

@@ -100,6 +100,10 @@ let bench_flow_run bits style =
     [ ("style", Str (Ccplace.Style.name style));
       ("bits", Num (float_of_int bits));
       ("place_route_s", Num r.Ccdac.Flow.elapsed_place_route_s);
+      ( "lvs_s",
+        Num
+          (Option.value ~default:0.
+             (Telemetry.Summary.stage_seconds r.Ccdac.Flow.telemetry "lvs")) );
       ("f3db_mhz", Num r.Ccdac.Flow.f3db_mhz);
       ("max_inl_lsb", Num r.Ccdac.Flow.max_inl);
       ("max_dnl_lsb", Num r.Ccdac.Flow.max_dnl);

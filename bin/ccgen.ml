@@ -7,6 +7,7 @@
      ccgen tables                          regenerate the paper's tables
      ccgen sweep   -b 8                    parallel-wire sweep (Fig. 6a)
      ccgen profile -b 6,8 --json           per-stage time/metric breakdown
+     ccgen lvs     --all --werror          sweepline connectivity certification
 *)
 
 open Cmdliner
@@ -477,6 +478,111 @@ let lint_cmd =
     Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ json_arg
           $ werror_arg $ all_arg $ rules_arg $ load_lint_arg)
 
+(* --- lvs --- *)
+
+let lvs_cmd =
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let werror_arg =
+    let doc = "Treat warnings as errors (nonzero exit on any finding)." in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let all_arg =
+    let doc =
+      "Certify every shipped configuration: spiral, chessboard, rowwise and \
+       the default block-chessboard at 4, 6, 8 and 10 bits."
+    in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  (* one certified configuration: label + extraction stats + diagnostics *)
+  let lvs_style tech granularity bits s =
+    let style = resolve_style ~bits ~granularity s in
+    let p = Ccplace.Style.place ~bits style in
+    let layout =
+      Ccroute.Layout.route tech
+        ~p_of_cap:(Ccdac.Flow.default_parallel ~bits style) p
+    in
+    let label = Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits in
+    (label, Lvs.Check.run layout)
+  in
+  let run bits style granularity tech json werror all =
+    let runs =
+      if all then
+        List.concat_map
+          (fun bits ->
+             List.map
+               (lvs_style tech granularity bits)
+               [ `Spiral; `Chessboard; `Rowwise; `Block ])
+          [ 4; 6; 8; 10 ]
+      else begin
+        check_bits bits;
+        [ lvs_style tech granularity bits style ]
+      end
+    in
+    if json then begin
+      print_string "{\"version\": 1, \"runs\": [";
+      List.iteri
+        (fun i (label, (r : Lvs.Check.result)) ->
+           if i > 0 then print_string ", ";
+           Printf.printf
+             "{\"label\": \"%s\", \"stats\": {\"shapes\": %d, \
+              \"contacts\": %d, \"components\": %d}, \"report\": %s}"
+             label r.Lvs.Check.stats.Lvs.Check.shapes
+             r.Lvs.Check.stats.Lvs.Check.contacts
+             r.Lvs.Check.stats.Lvs.Check.components
+             (Verify.Report.json r.Lvs.Check.diagnostics))
+        runs;
+      print_endline "]}"
+    end
+    else
+      List.iter
+        (fun (label, (r : Lvs.Check.result)) ->
+           let s = r.Lvs.Check.stats in
+           match r.Lvs.Check.diagnostics with
+           | [] ->
+             Printf.printf
+               "%s: clean (%d shapes, %d contacts, %d components)\n" label
+               s.Lvs.Check.shapes s.Lvs.Check.contacts s.Lvs.Check.components
+           | diags ->
+             Printf.printf "%s: %s\n" label (Verify.Report.summary_line diags);
+             List.iter
+               (fun d ->
+                  Printf.printf "  %s\n"
+                    (Format.asprintf "%a" Verify.Diagnostic.pp d))
+               (Verify.Diagnostic.sort diags))
+        runs;
+    let dirty =
+      List.exists
+        (fun (_, (r : Lvs.Check.result)) ->
+           Result.is_error
+             (Verify.Engine.gate ~werror r.Lvs.Check.diagnostics))
+        runs
+    in
+    if not json then begin
+      let total = List.length runs in
+      let clean =
+        List.length
+          (List.filter
+             (fun (_, (r : Lvs.Check.result)) ->
+                r.Lvs.Check.diagnostics = [])
+             runs)
+      in
+      if total > 1 then
+        Printf.printf "%d configuration(s), %d clean\n" total clean
+    end;
+    if dirty then exit 1
+  in
+  let doc =
+    "Extract whole-layout connectivity with the sweepline engine and certify \
+     it against the intended netlist (opens, shorts, floating cells, \
+     Netbuild cross-check); nonzero exit on any lvs/* error."
+  in
+  Cmd.v (Cmd.info "lvs" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ json_arg
+          $ werror_arg $ all_arg)
+
 (* --- profile --- *)
 
 let profile_cmd =
@@ -502,7 +608,7 @@ let profile_cmd =
     let doc = "Emit the machine-readable profile document (docs/BENCH.md)." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let stage_names = [ "place"; "route"; "verify"; "extract"; "analyse" ] in
+  let stage_names = [ "place"; "route"; "verify"; "lvs"; "extract"; "analyse" ] in
   let stage_s (r : Ccdac.Flow.result) name =
     Option.value ~default:0. (Telemetry.Summary.stage_seconds r.telemetry name)
   in
@@ -568,16 +674,16 @@ let profile_cmd =
     end
     else begin
       Printf.printf
-        "%-18s %4s  %9s %9s %9s %9s %9s  %8s %6s %9s\n" "style" "bits"
-        "place ms" "route ms" "verify ms" "extract ms" "analyse ms" "p+r ms"
-        "vias" "f3dB MHz";
+        "%-18s %4s  %9s %9s %9s %9s %9s %9s  %8s %6s %9s\n" "style" "bits"
+        "place ms" "route ms" "verify ms" "lvs ms" "extract ms" "analyse ms"
+        "p+r ms" "vias" "f3dB MHz";
       List.iter
         (fun (r : Ccdac.Flow.result) ->
            let ms n = 1e3 *. stage_s r n in
            Printf.printf
-             "%-18s %4d  %9.2f %9.2f %9.2f %9.2f %9.2f  %8.2f %6d %9.0f\n"
+             "%-18s %4d  %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f  %8.2f %6d %9.0f\n"
              (Ccplace.Style.name r.style) r.bits (ms "place") (ms "route")
-             (ms "verify") (ms "extract") (ms "analyse")
+             (ms "verify") (ms "lvs") (ms "extract") (ms "analyse")
              (1e3 *. r.elapsed_place_route_s)
              r.parasitics.Extract.Parasitics.total_via_cuts r.f3db_mhz)
         medians;
@@ -615,6 +721,14 @@ let main =
   in
   Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
     [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; profile_cmd;
-      svg_cmd; mc_cmd; verify_cmd; lint_cmd; spectrum_cmd ]
+      svg_cmd; mc_cmd; verify_cmd; lint_cmd; lvs_cmd; spectrum_cmd ]
 
-let () = exit (Cmd.eval main)
+(* The verification and LVS gates raise [Verify.Engine.Rejected] on a
+   defective layout; turn that into a report and a nonzero exit instead of
+   an uncaught-exception backtrace. *)
+let () =
+  try exit (Cmd.eval ~catch:false main)
+  with Verify.Engine.Rejected { what; diagnostics } ->
+    Printf.eprintf "ccgen: %s rejected:\n" what;
+    prerr_string (Verify.Report.text diagnostics);
+    exit 1

@@ -210,7 +210,12 @@ let route tech ?(p_of_cap = fun _ -> 1) (placement : Placement.t) =
            let track =
              match rs with
              | r :: _ -> r.Plan.track
-             | [] -> assert false
+             | [] ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Ccroute.Layout.build: capacitor C%d lists channel %d \
+                     but the plan has no route for it there"
+                    cap ch)
            in
            let x = track_x.(ch).(track) in
            let attaches =

@@ -38,8 +38,36 @@ let prim ~nodes ~edges =
         adj.(u)
     end
   done;
-  if List.length !chosen <> nodes - 1 then
-    invalid_arg "Mst.prim: graph is disconnected";
+  if List.length !chosen <> nodes - 1 then begin
+    (* count the components and name one orphan so the failure is
+       actionable when it surfaces through LVS triage *)
+    let parent = Array.init nodes Fun.id in
+    let rec find i =
+      if parent.(i) = i then i
+      else begin
+        parent.(i) <- find parent.(i);
+        parent.(i)
+      end
+    in
+    Array.iter
+      (fun (a, b, _) ->
+         let ra = find a and rb = find b in
+         if ra <> rb then parent.(ra) <- rb)
+      edges;
+    let components = ref 0 in
+    for v = 0 to nodes - 1 do
+      if find v = v then incr components
+    done;
+    let orphan = ref (-1) in
+    for v = nodes - 1 downto 0 do
+      if not in_tree.(v) then orphan := v
+    done;
+    invalid_arg
+      (Printf.sprintf
+         "Mst.prim: graph is disconnected (%d components; node %d \
+          unreachable from node 0)"
+         !components !orphan)
+  end;
   List.rev !chosen
 
 let cost ~edges tree =

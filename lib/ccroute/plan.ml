@@ -99,52 +99,194 @@ let make (placement : Placement.t) groups =
            (select_channels_for_cap gs))
       (List.init (placement.Placement.bits + 1) (fun k -> k))
   in
+  (* Stub planarity repair.  Each connection straps its group to the
+     trunk with an M1 stub at its attach cell's row; when capacitor A
+     straps from the left column of a channel at the same row where
+     capacitor B straps from the right, A's track must lie left of B's
+     or the stubs overlap on M1 — a short.  These precedence constraints
+     can form a cycle (A left of B at one row, B left of A at another),
+     which no track order satisfies; break cycles by re-attaching one of
+     the offending groups at a different channel-adjacent cell — the
+     group joins the same trunk either way, only its stub row moves. *)
+  let choices =
+    Array.of_list
+      (List.map
+         (fun (cap, g, channel, attach) -> (cap, g, channel, ref attach))
+         per_cap_choices)
+  in
+  let cyclic channel idxs =
+    (* caps with their strap (side, row) pairs under the current attaches *)
+    let strap = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+         let cap, _, _, attach = choices.(i) in
+         let side_row =
+           ((!attach).Cell.col >= channel, (!attach).Cell.row)
+         in
+         Hashtbl.replace strap cap
+           (side_row
+            :: Option.value ~default:[] (Hashtbl.find_opt strap cap)))
+      idxs;
+    let caps = Hashtbl.fold (fun cap _ acc -> cap :: acc) strap [] in
+    let before a b =
+      a <> b
+      && List.exists
+           (fun (right, r) ->
+              (not right)
+              && List.exists (( = ) (true, r)) (Hashtbl.find strap b))
+           (Hashtbl.find strap a)
+    in
+    (* Kahn: the constraint graph is cyclic iff some cap never drains *)
+    let remaining = ref caps in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let ready, blocked =
+        List.partition
+          (fun b -> not (List.exists (fun a -> before a b) !remaining))
+          !remaining
+      in
+      if ready <> [] then progress := true;
+      remaining := blocked
+    done;
+    !remaining <> []
+  in
+  let by_channel_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (_, _, channel, _) ->
+       Hashtbl.replace by_channel_idx channel
+         (i :: Option.value ~default:[] (Hashtbl.find_opt by_channel_idx channel)))
+    choices;
+  Hashtbl.iter
+    (fun channel idxs ->
+       if cyclic channel idxs then
+         (* greedy single-move repair: try re-attaching each connection at
+            another cell adjacent to the channel, nearest row first *)
+         List.iter
+           (fun i ->
+              if cyclic channel idxs then begin
+                let _, g, _, attach = choices.(i) in
+                let original = !attach in
+                let candidates =
+                  List.filter
+                    (fun (c : Cell.t) ->
+                       (c.Cell.col = channel - 1 || c.Cell.col = channel)
+                       && c.Cell.row <> original.Cell.row)
+                    g.Group.cells
+                  |> List.sort
+                       (fun (a : Cell.t) (b : Cell.t) ->
+                          compare
+                            (abs (a.Cell.row - original.Cell.row),
+                             a.Cell.row, a.Cell.col)
+                            (abs (b.Cell.row - original.Cell.row),
+                             b.Cell.row, b.Cell.col))
+                in
+                let rec try_cells = function
+                  | [] -> attach := original
+                  | c :: rest ->
+                    attach := c;
+                    if cyclic channel idxs then try_cells rest
+                in
+                try_cells candidates
+              end)
+           idxs)
+    by_channel_idx;
+  let per_cap_choices =
+    Array.to_list choices
+    |> List.map (fun (cap, g, channel, attach) -> (cap, g, channel, !attach))
+  in
   (* Step 2: one track per (channel, capacitor); a capacitor's groups in
      the same channel share the track (they are one electrical net).
      Lines 42-45 assign each connection the closest available track: a
      capacitor attaching from the column right of the channel takes the
      rightmost unused track, one attaching from the left takes the
-     leftmost — minimising its stub length. *)
+     leftmost — minimising its stub length.
+
+     Track order must also respect stub planarity.  Every strap is an M1
+     stub at its attach cell's row y, from the cell pad to the track;
+     when capacitor A straps from the left column at the same row where
+     capacitor B straps from the right, A's track must lie left of B's
+     or the two stubs overlap on M1 — a short (a capacitor strapping
+     from both sides at different rows can impose several such
+     constraints, which the closest-track rule alone can violate).  So
+     tracks are assigned in a topological order of these precedence
+     constraints, with the closest-track rule as the tie-break:
+     left-only capacitors take the leftmost tracks in discovery order,
+     right-only ones the rightmost. *)
   let tracks_per_channel = Array.make (cols + 1) 0 in
-  let first_attach = Hashtbl.create 64 in
+  (* (channel, cap) -> (left-strap rows, right-strap rows) *)
+  let strap_rows = Hashtbl.create 64 in
+  let channel_caps = Array.make (cols + 1) [] in
   List.iter
     (fun (cap, _g, channel, (attach : Cell.t)) ->
-       if not (Hashtbl.mem first_attach (channel, cap)) then begin
-         Hashtbl.add first_attach (channel, cap) attach.Cell.col;
-         tracks_per_channel.(channel) <- tracks_per_channel.(channel) + 1
-       end)
+       let lefts, rights =
+         match Hashtbl.find_opt strap_rows (channel, cap) with
+         | Some lr -> lr
+         | None ->
+           let lr = (ref [], ref []) in
+           Hashtbl.add strap_rows (channel, cap) lr;
+           channel_caps.(channel) <- cap :: channel_caps.(channel);
+           tracks_per_channel.(channel) <- tracks_per_channel.(channel) + 1;
+           lr
+       in
+       (* channel ch sits left of column ch: an attach cell in column ch
+          reaches the channel from the right *)
+       if attach.Cell.col >= channel then
+         rights := attach.Cell.row :: !rights
+       else lefts := attach.Cell.row :: !lefts)
     per_cap_choices;
   let track_table = Hashtbl.create 64 in
   let track_caps =
     Array.mapi (fun ch n -> (ch, Array.make n (-1))) tracks_per_channel
     |> Array.map snd
   in
-  let low = Array.make (cols + 1) 0 in
-  let high = Array.map (fun n -> n - 1) tracks_per_channel in
-  List.iter
-    (fun (cap, _g, channel, (_ : Cell.t)) ->
-       if not (Hashtbl.mem track_table (channel, cap)) then begin
-         let attach_col = Hashtbl.find first_attach (channel, cap) in
-         (* channel ch sits left of column ch: an attach cell in column ch
-            reaches the channel from the right, so its closest track is
-            the rightmost *)
-         let from_right = attach_col >= channel in
-         let track =
-           if from_right then begin
-             let t = high.(channel) in
-             high.(channel) <- t - 1;
-             t
-           end
-           else begin
-             let t = low.(channel) in
-             low.(channel) <- t + 1;
-             t
-           end
+  Array.iteri
+    (fun channel caps_rev ->
+       let caps = Array.of_list (List.rev caps_rev) in
+       let n = Array.length caps in
+       let lefts i = !(fst (Hashtbl.find strap_rows (channel, caps.(i))))
+       and rights i = !(snd (Hashtbl.find strap_rows (channel, caps.(i)))) in
+       (* [i] must take a track left of [j]'s *)
+       let before i j =
+         i <> j && List.exists (fun r -> List.mem r (rights j)) (lefts i)
+       in
+       let indeg = Array.make n 0 in
+       for i = 0 to n - 1 do
+         for j = 0 to n - 1 do
+           if before i j then indeg.(j) <- indeg.(j) + 1
+         done
+       done;
+       (* closest-track tie-break: left-only strappers first (lowest
+          tracks) in discovery order, right-only last in reverse
+          discovery order (the first discovered ends up rightmost) *)
+       let key i =
+         match (lefts i, rights i) with
+         | _ :: _, [] -> (0, i)
+         | _ :: _, _ :: _ -> (1, i)
+         | [], _ -> (2, n - i)
+       in
+       let assigned = Array.make n false in
+       for track = 0 to n - 1 do
+         let pick ~ready =
+           let best = ref (-1) in
+           for i = 0 to n - 1 do
+             if (not assigned.(i)) && ((not ready) || indeg.(i) = 0) then
+               if !best = -1 || key i < key !best then best := i
+           done;
+           !best
          in
-         Hashtbl.add track_table (channel, cap) track;
-         track_caps.(channel).(track) <- cap
-       end)
-    per_cap_choices;
+         (* a precedence cycle (A left of B and B left of A) cannot be
+            satisfied by track order alone; fall back to the tie-break
+            and let the LVS gate report the residual overlap *)
+         let i = match pick ~ready:true with -1 -> pick ~ready:false | i -> i in
+         assigned.(i) <- true;
+         for j = 0 to n - 1 do
+           if (not assigned.(j)) && before i j then indeg.(j) <- indeg.(j) - 1
+         done;
+         Hashtbl.add track_table (channel, caps.(i)) track;
+         track_caps.(channel).(track) <- caps.(i)
+       done)
+    channel_caps;
   let routes =
     List.map
       (fun (cap, group, channel, attach) ->

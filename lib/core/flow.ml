@@ -51,6 +51,13 @@ let verify_layout ~what (layout : Ccroute.Layout.t) =
         (List.length diags));
   Verify.Engine.assert_clean ~what diags
 
+(* The LVS gate: whole-layout connectivity extraction against the
+   intended netlist.  Runs after the rule linter (and, like it, outside
+   the Table III place+route clock); a defect raises
+   [Verify.Engine.Rejected] through the same reporting path. *)
+let lvs_layout ~what layout =
+  Verify.Engine.assert_clean ~what (Lvs.Check.check layout)
+
 let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ?(verify = true)
     ~bits style =
   let parallel =
@@ -66,11 +73,11 @@ let place_route ?(tech = Tech.Process.finfet_12nm) ?parallel ?(verify = true)
   (* Table III measurement: the clock stops before the verification gate
      runs, so linting never skews place+route timings. *)
   let t1 = Telemetry.Clock.now_ns () in
-  if verify then
-    stage "verify" (fun () ->
-        verify_layout
-          ~what:(Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits)
-          layout);
+  if verify then begin
+    let what = Printf.sprintf "%s %d-bit" (Ccplace.Style.name style) bits in
+    stage "verify" (fun () -> verify_layout ~what layout);
+    stage "lvs" (fun () -> lvs_layout ~what layout)
+  end;
   Log.debug (fun m ->
       m "%s %d-bit: place %.3f ms, route %.3f ms (%d groups, %d tracks)"
         (Ccplace.Style.name style) bits
@@ -164,11 +171,12 @@ let run_placement ?(tech = Tech.Process.finfet_12nm) ?parallel
              Ccroute.Layout.route tech ~p_of_cap:parallel placement)
        in
        let elapsed = Telemetry.Clock.since_s t0 in
-       if verify then
-         stage "verify" (fun () ->
-             verify_layout
-               ~what:
-                 (Printf.sprintf "%s %d-bit (prebuilt placement)"
-                    placement.Ccgrid.Placement.style_name bits)
-               layout);
+       if verify then begin
+         let what =
+           Printf.sprintf "%s %d-bit (prebuilt placement)"
+             placement.Ccgrid.Placement.style_name bits
+         in
+         stage "verify" (fun () -> verify_layout ~what layout);
+         stage "lvs" (fun () -> lvs_layout ~what layout)
+       end;
        analyze_layout ~tech ?sign_mode ?theta ~style ~elapsed layout)

@@ -33,7 +33,18 @@ let build (layout : Layout.t) ~cap =
   let tech = layout.Layout.tech in
   let net = Layout.net layout cap in
   if net.Layout.cn_trunks = [] then
-    invalid_arg "Netbuild.build: capacitor has no routed net";
+    (* an unrouted capacitor is an open, not a programming error: report
+       it through the verification gate so callers (ccgen run, the flow's
+       lvs stage) print a diagnostic instead of a backtrace *)
+    raise
+      (Verify.Engine.Rejected
+         { what = Printf.sprintf "RC extraction of C_%d" cap;
+           diagnostics =
+             [ Verify.Diagnostic.makef
+                 ~loc:(Printf.sprintf "C_%d" cap)
+                 Verify.Lvs_rules.r_open
+                 "capacitor has no routed net: no trunk reaches the driver \
+                  row, so no RC tree can be built" ] });
   let p = layout.Layout.p_of_cap.(cap) in
   let m1 = Tech.Process.layer tech Tech.Layer.M1 in
   let m3 = Tech.Process.layer tech Tech.Layer.M3 in

@@ -1,0 +1,163 @@
+type seg = {
+  sid : int;
+  sx : Interval.t;
+  sy : Interval.t;
+}
+
+let segment ~id ~ax ~ay ~bx ~by =
+  { sid = id; sx = Interval.make ax bx; sy = Interval.make ay by }
+
+(* Orientation of one shape under the tolerance: degenerate extents are
+   points, one live extent is a segment, two is a filled rectangle (not a
+   reserved-direction wire — rejected loudly). *)
+type class_ =
+  | Point
+  | Horiz
+  | Vert
+
+let classify ~eps s =
+  let wx = Interval.length s.sx > eps and wy = Interval.length s.sy > eps in
+  match wx, wy with
+  | false, false -> Point
+  | true, false -> Horiz
+  | false, true -> Vert
+  | true, true ->
+    invalid_arg
+      (Format.asprintf "Sweepline.contacts: shape %d is not axis-aligned %a x %a"
+         s.sid Interval.pp s.sx Interval.pp s.sy)
+
+(* Pair collector: each unordered (sid, sid) pair once, self-pairs dropped. *)
+let collector () =
+  let seen = Hashtbl.create 256 in
+  let pairs = ref [] in
+  let emit a b =
+    if a <> b then begin
+      let key = if a < b then (a, b) else (b, a) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        pairs := key :: !pairs
+      end
+    end
+  in
+  (emit, pairs)
+
+(* Collinear pass: shapes sharing one running coordinate (e.g. horizontal
+   wires grouped by y), overlap-scanned along the other.  [cross s] is the
+   fixed coordinate, [along s] the running interval.  O(g log g + k) per
+   group: the open list only holds shapes still overlapping the scan
+   front, so its length is bounded by the local overlap degree. *)
+let collinear_pass ~eps ~cross ~along emit shapes =
+  let sorted =
+    List.sort
+      (fun a b ->
+         match Float.compare (cross a) (cross b) with
+         | 0 -> Float.compare (along a).Interval.lo (along b).Interval.lo
+         | c -> c)
+      shapes
+  in
+  let scan group =
+    let open_ = ref [] in
+    List.iter
+      (fun s ->
+         let lo = (along s).Interval.lo in
+         open_ :=
+           List.filter
+             (fun o ->
+                if (along o).Interval.hi >= lo -. eps then begin
+                  emit o.sid s.sid;
+                  true
+                end
+                else false)
+             !open_;
+         open_ := s :: !open_)
+      group
+  in
+  (* split into runs of equal fixed coordinate (within eps) *)
+  let rec walk group anchor = function
+    | [] -> scan (List.rev group)
+    | s :: rest ->
+      if group = [] || Float.abs (cross s -. anchor) <= eps then
+        walk (s :: group) (if group = [] then cross s else anchor) rest
+      else begin
+        scan (List.rev group);
+        walk [ s ] (cross s) rest
+      end
+  in
+  walk [] 0. sorted
+
+(* Crossing pass: horizontal shapes active over their x extent in a map
+   keyed by (y, tag); each vertical shape queries the active band for
+   y within its extent.  Insert events sort before queries before
+   removals at equal x, so touching endpoints count as contact. *)
+module Ymap = Map.Make (struct
+    type t = float * int
+    let compare (ya, ia) (yb, ib) =
+      match Float.compare ya yb with
+      | 0 -> Int.compare ia ib
+      | c -> c
+  end)
+
+type event =
+  | Insert of seg
+  | Query of seg
+  | Remove of seg
+
+let event_rank = function
+  | Insert _ -> 0
+  | Query _ -> 1
+  | Remove _ -> 2
+
+let mid (i : Interval.t) = (i.Interval.lo +. i.Interval.hi) /. 2.
+
+let crossing_pass ~eps emit horiz vert =
+  let events =
+    List.concat_map
+      (fun h ->
+         [ (h.sx.Interval.lo -. eps, Insert h); (h.sx.Interval.hi +. eps, Remove h) ])
+      horiz
+    @ List.map (fun v -> (mid v.sx, Query v)) vert
+  in
+  let sorted =
+    List.sort
+      (fun (xa, ea) (xb, eb) ->
+         match Float.compare xa xb with
+         | 0 -> Int.compare (event_rank ea) (event_rank eb)
+         | c -> c)
+      events
+  in
+  let active = ref Ymap.empty in
+  List.iter
+    (fun (_, ev) ->
+       match ev with
+       | Insert h -> active := Ymap.add (mid h.sy, h.sid) h !active
+       | Remove h -> active := Ymap.remove (mid h.sy, h.sid) !active
+       | Query v ->
+         let lo = v.sy.Interval.lo -. eps and hi = v.sy.Interval.hi +. eps in
+         let rec drain seq =
+           match Seq.uncons seq with
+           | Some (((y, _), h), rest) when y <= hi ->
+             emit h.sid v.sid;
+             drain rest
+           | Some _ | None -> ()
+         in
+         drain (Ymap.to_seq_from (lo, min_int) !active))
+    sorted
+
+let contacts ?(eps = 1e-6) shapes =
+  let horiz = ref [] and vert = ref [] and points = ref [] in
+  List.iter
+    (fun s ->
+       match classify ~eps s with
+       | Point -> points := s :: !points
+       | Horiz -> horiz := s :: !horiz
+       | Vert -> vert := s :: !vert)
+    shapes;
+  let emit, pairs = collector () in
+  (* same-axis (and point-on-collinear-shape) overlaps *)
+  collinear_pass ~eps ~cross:(fun s -> mid s.sy) ~along:(fun s -> s.sx) emit
+    (!horiz @ !points);
+  collinear_pass ~eps ~cross:(fun s -> mid s.sx) ~along:(fun s -> s.sy) emit
+    (!vert @ !points);
+  (* orthogonal crossings and T-junctions *)
+  crossing_pass ~eps emit !horiz !vert;
+  !pairs

@@ -1,0 +1,33 @@
+(** Axis-aligned contact detection by plane sweep.
+
+    The LVS extractor reduces same-layer connectivity to one question: which
+    pairs of axis-aligned shapes (wire segments, via landings, plate pads
+    collapsed to points) touch?  A naive all-pairs test is O(n²); this module
+    answers it in O((n + k) log n) for n shapes and k contact pairs with
+    three passes — two collinear overlap scans (horizontal–horizontal grouped
+    by y, vertical–vertical grouped by x, points riding along in both) and
+    one orthogonal-crossing sweep over x with the active horizontal set held
+    in an ordered interval index keyed by y. *)
+
+(** One shape: a closed axis-aligned box that is degenerate in at least one
+    axis — a horizontal segment, a vertical segment, or a point.  [sid] is
+    the caller's identifier, reported back in contact pairs. *)
+type seg = private {
+  sid : int;
+  sx : Interval.t;
+  sy : Interval.t;
+}
+
+(** [segment ~id ~ax ~ay ~bx ~by] is the shape spanning the two endpoints
+    (in either order).  Endpoints equal in both axes yield a point. *)
+val segment : id:int -> ax:float -> ay:float -> bx:float -> by:float -> seg
+
+(** [contacts ?eps shapes] is every unordered pair of distinct shape ids
+    whose closed extents come within [eps] of touching in both axes (for
+    degenerate axis-aligned shapes, bounding-box contact is geometric
+    contact).  Pairs are emitted once each, in no specified order.  [eps]
+    defaults to [1e-6].
+
+    @raise Invalid_argument on a shape extended (beyond [eps]) in both
+    axes — layout shapes are reserved-direction segments, points, or vias. *)
+val contacts : ?eps:float -> seg list -> (int * int) list

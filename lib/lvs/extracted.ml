@@ -1,0 +1,71 @@
+type t = {
+  shapes : Shape.t array;
+  comp_of : int array;
+  n_components : int;
+  n_contacts : int;
+}
+
+(* Union-find with path halving and union by size. *)
+let extract (shapes : Shape.t array) =
+  let n = Array.length shapes in
+  let parent = Array.init n Fun.id in
+  let size = Array.make n 1 in
+  let rec find i =
+    let p = parent.(i) in
+    if p = i then i
+    else begin
+      parent.(i) <- parent.(p);
+      find parent.(i)
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then begin
+      let big, small = if size.(ra) >= size.(rb) then ra, rb else rb, ra in
+      parent.(small) <- big;
+      size.(big) <- size.(big) + size.(small)
+    end
+  in
+  (* one sweep per layer; a via carries the same shape id into both its
+     layers, which is what closes connectivity across the stack *)
+  let contacts = ref 0 in
+  List.iter
+    (fun layer ->
+       let segs =
+         Array.to_seq shapes
+         |> Seq.filter_map (fun (s : Shape.t) ->
+             if List.exists (Tech.Layer.equal_name layer) s.Shape.layers then
+               Some
+                 (Geom.Sweepline.segment ~id:s.Shape.id
+                    ~ax:s.Shape.x.Geom.Interval.lo ~ay:s.Shape.y.Geom.Interval.lo
+                    ~bx:s.Shape.x.Geom.Interval.hi ~by:s.Shape.y.Geom.Interval.hi)
+             else None)
+         |> List.of_seq
+       in
+       let pairs = Geom.Sweepline.contacts segs in
+       contacts := !contacts + List.length pairs;
+       List.iter (fun (a, b) -> union a b) pairs)
+    [ Tech.Layer.M1; Tech.Layer.M2; Tech.Layer.M3 ];
+  (* densify component ids in shape order *)
+  let comp_of = Array.make n (-1) in
+  let next = ref 0 in
+  let index = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    match Hashtbl.find_opt index r with
+    | Some c -> comp_of.(i) <- c
+    | None ->
+      Hashtbl.add index r !next;
+      comp_of.(i) <- !next;
+      incr next
+  done;
+  { shapes; comp_of; n_components = !next; n_contacts = !contacts }
+
+let component t id = t.comp_of.(id)
+
+let members t c =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter
+          (fun (s : Shape.t) -> t.comp_of.(s.Shape.id) = c)
+          (Array.to_seq t.shapes)))

@@ -1,0 +1,24 @@
+(** Whole-layout connectivity extraction.
+
+    One {!Geom.Sweepline} pass per metal layer finds every same-layer
+    contact in O(n log n); a union-find closes connectivity across layers
+    through vias (a via's single shape id occupies both M1 and M3, so its
+    same-layer contacts merge the two layers' components).  The result
+    partitions the flattened shape set into electrical components —
+    the extracted nets. *)
+
+type t = {
+  shapes : Shape.t array;
+  comp_of : int array;     (** shape id -> dense component index *)
+  n_components : int;
+  n_contacts : int;        (** same-layer contact pairs found *)
+}
+
+(** [extract shapes] runs the per-layer sweeps and the union-find. *)
+val extract : Shape.t array -> t
+
+(** [component t id] is the component of shape [id]. *)
+val component : t -> int -> int
+
+(** [members t c] lists the shapes of component [c] in id order. *)
+val members : t -> int -> Shape.t list

@@ -1,0 +1,96 @@
+open Ccgrid
+
+type kind =
+  | Pad of Cell.t
+  | Top_pad of Cell.t
+  | Wire of Ccroute.Layout.wire_kind
+  | Via
+
+type label =
+  | Cap of int
+  | Top
+
+type t = {
+  id : int;
+  kind : kind;
+  label : label;
+  layers : Tech.Layer.name list;
+  x : Geom.Interval.t;
+  y : Geom.Interval.t;
+  driver : bool;
+}
+
+let label_name = function
+  | Cap k -> Printf.sprintf "C_%d" k
+  | Top -> "TOP"
+
+let compare_label a b =
+  match a, b with
+  | Cap i, Cap j -> Int.compare i j
+  | Cap _, Top -> -1
+  | Top, Cap _ -> 1
+  | Top, Top -> 0
+
+let kind_name = function
+  | Pad _ -> "pad"
+  | Top_pad _ -> "top-pad"
+  | Wire Ccroute.Layout.Branch -> "branch"
+  | Wire Ccroute.Layout.Stub -> "stub"
+  | Wire Ccroute.Layout.Trunk -> "trunk"
+  | Wire Ccroute.Layout.Bridge -> "bridge"
+  | Wire Ccroute.Layout.Top -> "top-wire"
+  | Via -> "via"
+
+let point x y = (Geom.Interval.make x x, Geom.Interval.make y y)
+
+(* A via at the driver row (y = 0) is the net's input terminal. *)
+let driver_eps = 1e-9
+
+let of_layout (l : Ccroute.Layout.t) =
+  let shapes = ref [] in
+  let n = ref 0 in
+  let emit kind label layers x y driver =
+    shapes := { id = !n; kind; label; layers; x; y; driver } :: !shapes;
+    incr n
+  in
+  let p = l.Ccroute.Layout.placement in
+  let col_x = l.Ccroute.Layout.col_x and row_y = l.Ccroute.Layout.row_y in
+  (* cell plates: bottom pads carry the owning capacitor's net on M1;
+     top pads (every cell, dummies included — the physical top plate is
+     part of the unit capacitor) carry the shared TOP net on M2 *)
+  for row = 0 to p.Placement.rows - 1 do
+    for col = 0 to p.Placement.cols - 1 do
+      let cell = Cell.make ~row ~col in
+      let x, y = point col_x.(col) row_y.(row) in
+      (match Placement.cap_at p cell with
+       | Some k -> emit (Pad cell) (Cap k) [ Tech.Layer.M1 ] x y false
+       | None -> ());
+      emit (Top_pad cell) Top [ Tech.Layer.M2 ] x y false
+    done
+  done;
+  let wire (w : Ccroute.Layout.wire) =
+    let label = if w.Ccroute.Layout.w_cap < 0 then Top else Cap w.Ccroute.Layout.w_cap in
+    emit (Wire w.Ccroute.Layout.w_kind) label [ w.Ccroute.Layout.w_layer ]
+      (Geom.Interval.make w.Ccroute.Layout.w_ax w.Ccroute.Layout.w_bx)
+      (Geom.Interval.make w.Ccroute.Layout.w_ay w.Ccroute.Layout.w_by)
+      false
+  in
+  List.iter wire l.Ccroute.Layout.wires;
+  List.iter wire l.Ccroute.Layout.top_wires;
+  List.iter
+    (fun (v : Ccroute.Layout.via) ->
+       let x, y = point v.Ccroute.Layout.v_x v.Ccroute.Layout.v_y in
+       emit Via (Cap v.Ccroute.Layout.v_cap)
+         [ Tech.Layer.M1; Tech.Layer.M3 ] x y
+         (v.Ccroute.Layout.v_y <= driver_eps))
+    l.Ccroute.Layout.vias;
+  let arr = Array.make !n (List.hd !shapes) in
+  List.iter (fun s -> arr.(s.id) <- s) !shapes;
+  arr
+
+let pp ppf s =
+  Format.fprintf ppf "%s %s on %s at %a x %a" (label_name s.label)
+    (kind_name s.kind)
+    (String.concat "+"
+       (List.map (Format.asprintf "%a" Tech.Layer.pp_name) s.layers))
+    Geom.Interval.pp s.x Geom.Interval.pp s.y

@@ -1,0 +1,39 @@
+(** Flattening a routed layout into the drawn-geometry shape set.
+
+    LVS must judge the geometry actually drawn, so the flattener reads
+    only the layout's rendered artefacts — placed cell plates, wire
+    segments, vias — and never the router's plan or per-net metadata
+    (those are the {e intent} the extraction is checked against). *)
+
+open Ccgrid
+
+type kind =
+  | Pad of Cell.t          (** bottom plate of a placed (non-dummy) cell *)
+  | Top_pad of Cell.t      (** top plate; every cell has one *)
+  | Wire of Ccroute.Layout.wire_kind
+  | Via                    (** logical via joining M1 and M3 *)
+
+(** The net a shape claims to belong to: one capacitor's bottom-plate
+    net, or the shared top plate. *)
+type label =
+  | Cap of int
+  | Top
+
+type t = {
+  id : int;                        (** dense index into the flattened set *)
+  kind : kind;
+  label : label;
+  layers : Tech.Layer.name list;   (** layers the shape occupies (vias: 2) *)
+  x : Geom.Interval.t;
+  y : Geom.Interval.t;             (** extents, um; points are degenerate *)
+  driver : bool;                   (** via at the driver row (y = 0) *)
+}
+
+val label_name : label -> string
+val compare_label : label -> label -> int
+val kind_name : kind -> string
+
+(** [of_layout l] flattens [l] into shapes with ids [0 .. n-1]. *)
+val of_layout : Ccroute.Layout.t -> t array
+
+val pp : Format.formatter -> t -> unit

@@ -11,7 +11,7 @@ let definitions =
       ~cardinality:"1"
       ~doc:"Completed Flow.run / Flow.run_placement invocations.";
     m ~id:"flow/stage_seconds" ~kind:Metric.Gauge ~stage:"flow" ~unit_:"s"
-      ~cardinality:"per stage (place, route, verify, extract, analyse)"
+      ~cardinality:"per stage (place, route, verify, lvs, extract, analyse)"
       ~doc:"Monotonic wall time of the last run's stage.";
     (* place *)
     m ~id:"place/cells" ~kind:Metric.Gauge ~stage:"place" ~unit_:"1"
@@ -46,6 +46,20 @@ let definitions =
     m ~id:"verify/rule_fired_total" ~kind:Metric.Counter ~stage:"verify"
       ~unit_:"1" ~cardinality:"per rule"
       ~doc:"Diagnostics emitted by the rule-registry linter, by rule id.";
+    (* lvs *)
+    m ~id:"lvs/shapes" ~kind:Metric.Gauge ~stage:"lvs" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Shapes (pads, wires, vias) flattened and swept by the last LVS \
+            extraction.";
+    m ~id:"lvs/contacts" ~kind:Metric.Gauge ~stage:"lvs" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Same-layer contact pairs reported by the sweepline.";
+    m ~id:"lvs/components" ~kind:Metric.Gauge ~stage:"lvs" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Connected components after closing connectivity through vias.";
+    m ~id:"lvs/defects_total" ~kind:Metric.Counter ~stage:"lvs" ~unit_:"1"
+      ~cardinality:"per rule"
+      ~doc:"LVS diagnostics emitted, by lvs/* rule id.";
     (* extract *)
     m ~id:"extract/via_cuts" ~kind:Metric.Gauge ~stage:"extract" ~unit_:"1"
       ~cardinality:"per capacitor (C0..CN)"

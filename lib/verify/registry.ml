@@ -3,7 +3,7 @@ let all =
     List.sort
       (fun a b -> String.compare a.Rule.id b.Rule.id)
       (Place_rules.rules @ Route_rules.rules @ Tech_rules.rules
-       @ Style_rules.rules)
+       @ Style_rules.rules @ Lvs_rules.rules)
   in
   let rec dup = function
     | a :: (b :: _ as rest) ->

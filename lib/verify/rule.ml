@@ -8,6 +8,7 @@ type category =
   | Routing
   | Tech
   | Style
+  | Lvs
 
 type t = {
   id : string;
@@ -37,6 +38,7 @@ let category_name = function
   | Routing -> "routing"
   | Tech -> "tech"
   | Style -> "style"
+  | Lvs -> "lvs"
 
 let pp_severity ppf s = Format.pp_print_string ppf (severity_name s)
 

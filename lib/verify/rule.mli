@@ -17,6 +17,7 @@ type category =
   | Routing    (** routed-layout invariants (outline, tracks, nets) *)
   | Tech       (** process/technology description sanity *)
   | Style      (** placement-style configuration validity *)
+  | Lvs        (** layout-vs-schematic: extracted connectivity vs intent *)
 
 type t = {
   id : string;        (** stable machine id, e.g. ["place/centroid"] *)
@@ -35,7 +36,8 @@ val compare_severity : severity -> severity -> int
 (** [severity_name s] is ["error"], ["warning"] or ["info"]. *)
 val severity_name : severity -> string
 
-(** [category_name c] is ["placement"], ["routing"], ["tech"] or ["style"]. *)
+(** [category_name c] is ["placement"], ["routing"], ["tech"], ["style"]
+    or ["lvs"]. *)
 val category_name : category -> string
 
 val pp_severity : Format.formatter -> severity -> unit

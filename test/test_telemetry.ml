@@ -241,13 +241,13 @@ let test_chrome_trace_file () =
 
 (* --- summary + flow instrumentation --- *)
 
-let flow_stages = [ "place"; "route"; "verify"; "extract"; "analyse" ]
+let flow_stages = [ "place"; "route"; "verify"; "lvs"; "extract"; "analyse" ]
 
 let test_flow_summary_stages () =
   let r = Ccdac.Flow.run ~bits:6 Ccplace.Style.Spiral in
   let t = r.Ccdac.Flow.telemetry in
   Alcotest.(check string) "root name" "flow" t.T.Summary.name;
-  Alcotest.(check (list string)) "exactly the five stages, in order"
+  Alcotest.(check (list string)) "exactly the six stages, in order"
     flow_stages (T.Summary.stage_names t);
   List.iter
     (fun (_, s) -> Alcotest.(check bool) "stage duration >= 0" true (s >= 0.))

@@ -70,7 +70,8 @@ let test_registry_categories () =
                && String.sub r.Verify.Rule.id 0 (String.length prefix) = prefix))
          rules)
     [ (Verify.Rule.Placement, "place/"); (Verify.Rule.Routing, "route/");
-      (Verify.Rule.Tech, "tech/"); (Verify.Rule.Style, "style/") ]
+      (Verify.Rule.Tech, "tech/"); (Verify.Rule.Style, "style/");
+      (Verify.Rule.Lvs, "lvs/") ]
 
 (* --- clean paths --- *)
 
