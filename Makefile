@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint lvs bench profile doc clean examples
+.PHONY: all build test lint lvs bench profile qor doc clean examples
 
 all: build
 
@@ -28,6 +28,15 @@ bench:
 profile: build
 	dune exec bin/ccgen.exe -- profile --bits 6,8
 	dune exec bin/ccgen.exe -- profile --bits 6,8 --json > profile.json
+
+# QoR regression sentinel (docs/QOR.md): record the default matrix to
+# the ledger, then diff the ledger's latest records against the
+# committed baseline.  Fails on any regressed or incomparable metric;
+# qor_ledger.jsonl and qor_verdicts.json are what CI uploads.
+qor: build
+	dune exec bin/ccgen.exe -- record --ledger qor_ledger.jsonl
+	dune exec bin/ccgen.exe -- diff --baseline BENCH_baseline.json --from-ledger --ledger qor_ledger.jsonl --werror
+	dune exec bin/ccgen.exe -- diff --baseline BENCH_baseline.json --from-ledger --ledger qor_ledger.jsonl --json > qor_verdicts.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -4,7 +4,12 @@
 
      dune exec bench/main.exe              all tables, figures, benchmarks
      dune exec bench/main.exe -- table1    one artefact
-       (table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b ablation bench)
+       (table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b ablation bench
+        benchflow baseline csv)
+
+   The file-writing artefacts (benchflow, baseline) take --out FILE to
+   redirect their output; exactly one of them must be requested when
+   --out is given.
 
    Table III is measured twice: once as wall-clock inside the flow (like
    the paper) and once as a Bechamel microbenchmark per (style, bits). *)
@@ -84,6 +89,14 @@ let bechamel_tests =
 
 (* --- BENCH_flow.json: machine-readable flow benchmark (docs/BENCH.md) --- *)
 
+(* shared by the file-writing artefacts; set by --out *)
+let out_file : string option ref = ref None
+let out_path default = Option.value ~default !out_file
+
+let write_failed path msg =
+  Printf.eprintf "bench: cannot write %s: %s\n" path msg;
+  exit 1
+
 let median_by f runs =
   let sorted = List.sort (fun a b -> Float.compare (f a) (f b)) runs in
   List.nth sorted (List.length sorted / 2)
@@ -135,7 +148,8 @@ let bench_flow_overhead () =
       ("ratio", Num (recorded /. idle)) ]
 
 let benchflow () =
-  banner "BENCH_flow.json";
+  let path = out_path "BENCH_flow.json" in
+  banner path;
   let runs =
     List.concat_map
       (fun bits -> List.map (bench_flow_run bits) (bench_flow_styles bits))
@@ -150,11 +164,39 @@ let benchflow () =
         ("runs", Arr runs);
         ("null_sink_overhead", bench_flow_overhead ()) ]
   in
-  let oc = open_out "BENCH_flow.json" in
-  output_string oc (Telemetry.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  print_endline "wrote BENCH_flow.json"
+  (try
+     let oc = open_out path in
+     output_string oc (Telemetry.Json.to_string doc);
+     output_char oc '\n';
+     close_out oc
+   with Sys_error e -> write_failed path e);
+  Printf.printf "wrote %s\n" path
+
+(* --- BENCH_baseline.json: the QoR sentinel's committed reference.
+   Same (style, bits) matrix and repeat discipline as `ccgen record`'s
+   defaults, so `ccgen diff --baseline BENCH_baseline.json` compares
+   like against like. *)
+
+let baseline () =
+  let path = out_path "BENCH_baseline.json" in
+  banner path;
+  let bits_list = [ 6; 8 ] and repeat = 3 in
+  let records =
+    List.concat_map
+      (fun bits ->
+         List.map
+           (fun style ->
+              let runs =
+                List.init repeat (fun _ -> Ccdac.Flow.run ~tech ~bits style)
+              in
+              Qor.Record.of_result ~repeat
+                (median_by (fun r -> r.Ccdac.Flow.elapsed_place_route_s) runs))
+           (bench_flow_styles bits))
+      bits_list
+  in
+  (try Qor.Baseline.save ~path records
+   with Sys_error e -> write_failed path e);
+  Printf.printf "wrote %s (%d records)\n" path (List.length records)
 
 let bench () =
   banner "Bechamel: constructive P&R kernels (ns/run)";
@@ -427,14 +469,43 @@ let artefacts =
   [ ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6a", fig6a); ("fig6b", fig6b); ("ablation", ablation);
-    ("bench", bench); ("benchflow", benchflow); ("csv", csv) ]
+    ("bench", bench); ("benchflow", benchflow); ("baseline", baseline);
+    ("csv", csv) ]
+
+let out_writers = [ "benchflow"; "baseline" ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | [ _ ] | [] -> List.map fst artefacts
+  let rec parse names = function
+    | [] -> List.rev names
+    | [ "--out" ] ->
+      Printf.eprintf "bench: --out needs a FILE argument\n";
+      exit 2
+    | "--out" :: path :: rest ->
+      if !out_file <> None then begin
+        Printf.eprintf "bench: --out given twice\n";
+        exit 2
+      end;
+      out_file := Some path;
+      parse names rest
+    | name :: rest -> parse (name :: names) rest
   in
+  let requested =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst artefacts
+    | names -> names
+  in
+  if !out_file <> None then begin
+    let writers = List.filter (fun n -> List.mem n out_writers) requested in
+    match writers with
+    | [ _ ] -> ()
+    | _ ->
+      Printf.eprintf
+        "bench: --out needs exactly one file-writing artefact (%s); %d \
+         requested\n"
+        (String.concat " or " out_writers)
+        (List.length writers);
+      exit 2
+  end;
   List.iter
     (fun name ->
        match List.assoc_opt name artefacts with

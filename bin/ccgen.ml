@@ -8,6 +8,10 @@
      ccgen sweep   -b 8                    parallel-wire sweep (Fig. 6a)
      ccgen profile -b 6,8 --json           per-stage time/metric breakdown
      ccgen lvs     --all --werror          sweepline connectivity certification
+     ccgen record  -b 6,8                  append QoR records to the ledger
+     ccgen diff    --baseline FILE         regression sentinel vs baseline
+     ccgen history --ledger FILE           QoR trend from the ledger
+     ccgen explain -b 8 -s spiral          per-element delay/INL attribution
 *)
 
 open Cmdliner
@@ -689,6 +693,27 @@ let profile_cmd =
         medians;
       Printf.printf "(%d run(s) per configuration; median by place+route)\n"
         repeat;
+      let dists =
+        List.filter
+          (fun (p : Telemetry.Metrics.point) ->
+             match p.Telemetry.Metrics.value with
+             | Telemetry.Metrics.Dist _ -> true
+             | Telemetry.Metrics.Count _ | Telemetry.Metrics.Value _ -> false)
+          (Telemetry.Metrics.points dump)
+      in
+      if dists <> [] then begin
+        Printf.printf "histograms:\n";
+        List.iter
+          (fun (p : Telemetry.Metrics.point) ->
+             let q x =
+               match Telemetry.Metrics.quantile p.Telemetry.Metrics.value x with
+               | Some v -> Printf.sprintf "%g" v
+               | None -> "-"
+             in
+             Printf.printf "  %-28s p50=%s p95=%s\n"
+               p.Telemetry.Metrics.metric.Telemetry.Metric.id (q 0.5) (q 0.95))
+          dists
+      end;
       print_metrics metrics_fmt dump
     end
   in
@@ -699,6 +724,267 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bits_list_arg $ styles_arg $ gran_arg $ tech_arg
           $ repeat_arg $ json_arg $ verbose_arg $ trace_arg $ metrics_arg)
+
+(* --- qor: record / diff / history / explain --- *)
+
+let ledger_arg =
+  let doc = "QoR ledger file (JSON Lines, appended to by $(b,record))." in
+  Arg.(value & opt string "qor_ledger.jsonl"
+       & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let qor_json_arg =
+  let doc = "Emit machine-readable JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+(* Median-of-repeat flow runs for one configuration, by place+route time —
+   the same discipline ccgen profile uses. *)
+let qor_median_run ~tech ~bits ~repeat style =
+  let runs = List.init repeat (fun _ -> Ccdac.Flow.run ~tech ~bits style) in
+  let sorted =
+    List.sort
+      (fun a b ->
+         Float.compare a.Ccdac.Flow.elapsed_place_route_s
+           b.Ccdac.Flow.elapsed_place_route_s)
+      runs
+  in
+  List.nth sorted (List.length sorted / 2)
+
+let qor_matrix ~tech ~granularity ~repeat bits_list styles =
+  List.concat_map
+    (fun bits ->
+       List.map
+         (fun s ->
+            let style = resolve_style ~bits ~granularity s in
+            Qor.Record.of_result ~repeat
+              (qor_median_run ~tech ~bits ~repeat style))
+         styles)
+    bits_list
+
+let qor_bits_list_arg =
+  let doc = "Comma-separated resolutions to record." in
+  Arg.(value & opt (list int) [ 6; 8 ] & info [ "b"; "bits" ] ~docv:"N,.." ~doc)
+
+let qor_styles_arg =
+  let doc = "Comma-separated styles (default: all four)." in
+  Arg.(value & opt (list style_conv) [ `Rowwise; `Chessboard; `Spiral; `Block ]
+       & info [ "s"; "styles" ] ~docv:"STYLE,.." ~doc)
+
+let qor_repeat_arg =
+  let doc =
+    "Runs per configuration; the recorded run is the one with the median \
+     place+route time."
+  in
+  Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"R" ~doc)
+
+let record_cmd =
+  let run bits_list styles granularity tech repeat ledger json verbose =
+    setup_logs verbose;
+    if repeat < 1 then begin
+      Printf.eprintf "ccgen: --repeat must be >= 1\n";
+      exit 2
+    end;
+    List.iter check_bits bits_list;
+    let records, _ =
+      Telemetry.Metrics.collect @@ fun () ->
+      Telemetry.Span.with_ ~name:"qor.record" @@ fun () ->
+      let records =
+        qor_matrix ~tech ~granularity ~repeat bits_list styles
+      in
+      (try List.iter (fun r -> Qor.Ledger.append ~path:ledger r) records
+       with Sys_error e ->
+         Printf.eprintf "ccgen: cannot append to ledger: %s\n" e;
+         exit 1);
+      records
+    in
+    if json then
+      print_endline
+        (Telemetry.Json.to_string
+           (Telemetry.Json.Arr (List.map Qor.Record.to_json records)))
+    else begin
+      List.iter
+        (fun (r : Qor.Record.t) ->
+           Printf.printf
+             "%-28s f3dB %8.0f MHz  |INL| %6.3f  |DNL| %6.3f  vias %5d  \
+              p+r %7.2f ms\n"
+             r.Qor.Record.label r.Qor.Record.f3db_mhz r.Qor.Record.max_inl_lsb
+             r.Qor.Record.max_dnl_lsb r.Qor.Record.via_cuts
+             (1e3 *. r.Qor.Record.place_route_s))
+        records;
+      Printf.printf "recorded %d run(s) to %s\n" (List.length records) ledger
+    end
+  in
+  let doc =
+    "Run a (style, bits) matrix and append one schema-versioned QoR record \
+     per configuration to the ledger."
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const run $ qor_bits_list_arg $ qor_styles_arg $ gran_arg $ tech_arg
+          $ qor_repeat_arg $ ledger_arg $ qor_json_arg $ verbose_arg)
+
+let baseline_arg =
+  let doc = "Baseline document to diff against (BENCH_baseline.json)." in
+  Arg.(required & opt (some string) None
+       & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let diff_cmd =
+  let from_ledger_arg =
+    let doc =
+      "Compare the latest ledger record of each configuration instead of \
+       running the flow afresh."
+    in
+    Arg.(value & flag & info [ "from-ledger" ] ~doc)
+  in
+  let werror_arg =
+    let doc = "Also fail on warning-severity regressions (times, area)." in
+    Arg.(value & flag & info [ "werror" ] ~doc)
+  in
+  let run bits_list styles granularity tech repeat ledger from_ledger baseline
+      json werror verbose =
+    setup_logs verbose;
+    List.iter check_bits bits_list;
+    let baseline_records =
+      match Qor.Baseline.load ~path:baseline with
+      | Ok rs -> rs
+      | Error e ->
+        Printf.eprintf "ccgen: %s\n" e;
+        exit 2
+    in
+    let current =
+      if from_ledger then begin
+        match Qor.Ledger.load ~path:ledger with
+        | records, complaints ->
+          List.iter (fun c -> Printf.eprintf "ccgen: %s\n" c) complaints;
+          Qor.Ledger.latest_by_label records
+        | exception Sys_error e ->
+          Printf.eprintf "ccgen: cannot read ledger: %s\n" e;
+          exit 2
+      end
+      else
+        Telemetry.Span.with_ ~name:"qor.diff" @@ fun () ->
+        qor_matrix ~tech ~granularity ~repeat bits_list styles
+    in
+    let cmp = Qor.Compare.diff ~baseline:baseline_records ~current in
+    if json then
+      print_endline (Telemetry.Json.to_string (Qor.Compare.to_json cmp))
+    else print_string (Qor.Compare.text cmp);
+    match Qor.Compare.gate ~werror cmp with
+    | Ok () -> ()
+    | Error failing ->
+      if not json then
+        Printf.eprintf "ccgen: QoR regression: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (f : Qor.Compare.finding) ->
+                   Printf.sprintf "%s (%s)" f.Qor.Compare.policy.Qor.Policy.id
+                     f.Qor.Compare.label)
+                failing));
+      exit 1
+  in
+  let doc =
+    "Diff fresh runs (or, with $(b,--from-ledger), the ledger's latest \
+     records) against a committed baseline under the per-metric tolerance \
+     policies; nonzero exit on regression."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const run $ qor_bits_list_arg $ qor_styles_arg $ gran_arg $ tech_arg
+          $ qor_repeat_arg $ ledger_arg $ from_ledger_arg $ baseline_arg
+          $ qor_json_arg $ werror_arg $ verbose_arg)
+
+let history_cmd =
+  let last_arg =
+    let doc = "Show only the last $(docv) records per configuration." in
+    Arg.(value & opt int 10 & info [ "n"; "last" ] ~docv:"N" ~doc)
+  in
+  let label_arg =
+    let doc = "Restrict to one configuration label, e.g. \"spiral b8\"." in
+    Arg.(value & opt (some string) None & info [ "label" ] ~docv:"LABEL" ~doc)
+  in
+  let run ledger last label json =
+    let records, complaints =
+      try Qor.Ledger.load ~path:ledger
+      with Sys_error e ->
+        Printf.eprintf "ccgen: cannot read ledger: %s\n" e;
+        exit 2
+    in
+    List.iter (fun c -> Printf.eprintf "ccgen: %s\n" c) complaints;
+    let records =
+      match label with
+      | None -> records
+      | Some l ->
+        List.filter
+          (fun (r : Qor.Record.t) -> String.equal r.Qor.Record.label l)
+          records
+    in
+    (* keep the last [last] per label, preserving file order *)
+    let keep =
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun (r : Qor.Record.t) ->
+           let l = r.Qor.Record.label in
+           Hashtbl.replace counts l
+             (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        records;
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun (r : Qor.Record.t) ->
+           let l = r.Qor.Record.label in
+           let i = 1 + Option.value ~default:0 (Hashtbl.find_opt seen l) in
+           Hashtbl.replace seen l i;
+           i > Hashtbl.find counts l - last)
+        records
+    in
+    if json then
+      print_endline
+        (Telemetry.Json.to_string
+           (Telemetry.Json.Arr (List.map Qor.Record.to_json keep)))
+    else if keep = [] then
+      Printf.printf "no records%s in %s\n"
+        (match label with None -> "" | Some l -> " for " ^ l)
+        ledger
+    else
+      List.iter
+        (fun (r : Qor.Record.t) ->
+           let t = r.Qor.Record.provenance.Qor.Provenance.timestamp_s in
+           let tm = Unix.gmtime t in
+           Printf.printf
+             "%04d-%02d-%02dT%02d:%02d:%02dZ %-28s %-8s f3dB %8.0f  \
+              |INL| %6.3f  vias %5d  p+r %7.2f ms\n"
+             (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+             tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec r.Qor.Record.label
+             (match r.Qor.Record.provenance.Qor.Provenance.git_commit with
+              | Some c -> String.sub c 0 (min 8 (String.length c))
+              | None -> "-")
+             r.Qor.Record.f3db_mhz r.Qor.Record.max_inl_lsb
+             r.Qor.Record.via_cuts
+             (1e3 *. r.Qor.Record.place_route_s))
+        keep
+  in
+  let doc = "Show the QoR trend stored in the ledger." in
+  Cmd.v (Cmd.info "history" ~doc)
+    Term.(const run $ ledger_arg $ last_arg $ label_arg $ qor_json_arg)
+
+let explain_cmd =
+  let top_arg =
+    let doc = "Show only the $(docv) largest delay contributors." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let run bits style granularity tech top json verbose =
+    setup_logs verbose;
+    check_bits bits;
+    let style = resolve_style ~bits ~granularity style in
+    let r = Ccdac.Flow.run ~tech ~bits style in
+    let e = Qor.Explain.of_result r in
+    if json then
+      print_endline (Telemetry.Json.to_string (Qor.Explain.to_json e))
+    else print_string (Qor.Explain.text ~top e)
+  in
+  let doc =
+    "Attribute the worst-bit Elmore delay to physical elements (via stacks, \
+     wire segments) and the worst-code INL to individual capacitors."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ top_arg
+          $ qor_json_arg $ verbose_arg)
 
 (* --- sweep --- *)
 
@@ -721,7 +1007,8 @@ let main =
   in
   Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
     [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; profile_cmd;
-      svg_cmd; mc_cmd; verify_cmd; lint_cmd; lvs_cmd; spectrum_cmd ]
+      svg_cmd; mc_cmd; verify_cmd; lint_cmd; lvs_cmd; spectrum_cmd;
+      record_cmd; diff_cmd; history_cmd; explain_cmd ]
 
 (* The verification and LVS gates raise [Verify.Engine.Rejected] on a
    defective layout; turn that into a report and a nonzero exit instead of

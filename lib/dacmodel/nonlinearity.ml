@@ -88,13 +88,10 @@ let dnl_codes tech (placement : Ccgrid.Placement.t) ~sys ~cov ~sigma_t
          (step -. lsb) /. lsb
        end)
 
-let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
-    placement =
+(* Systematic shifts, covariance matrix, and total-capacitance sigma of a
+   placement — the model inputs shared by [analyze] and [attribute]. *)
+let model_inputs tech ?theta ?profile (placement : Ccgrid.Placement.t) =
   let bits = placement.Ccgrid.Placement.bits in
-  Telemetry.Span.with_ ~name:"analyse.nonlinearity"
-    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
-  @@ fun () ->
-  Telemetry.Metrics.set "analyse/codes" (float_of_int (Transfer.num_codes ~bits));
   let positions = Ccgrid.Placement.positions_by_cap tech placement in
   let systematic_shift =
     match profile with
@@ -105,6 +102,16 @@ let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
   let cov = Capmodel.Covariance.build tech positions in
   let all_caps = List.init (bits + 1) (fun k -> k) in
   let sigma_t = Capmodel.Covariance.sigma_of_subset cov all_caps in
+  (sys, cov, sigma_t)
+
+let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
+    placement =
+  let bits = placement.Ccgrid.Placement.bits in
+  Telemetry.Span.with_ ~name:"analyse.nonlinearity"
+    ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
+  @@ fun () ->
+  Telemetry.Metrics.set "analyse/codes" (float_of_int (Transfer.num_codes ~bits));
+  let sys, cov, sigma_t = model_inputs tech ?theta ?profile placement in
   let run_inl ~s_on ~s_t =
     inl_of_voltages ~bits
       (voltages tech placement ~sys ~cov ~sigma_t ~top_parasitic ~s_on ~s_t)
@@ -128,3 +135,90 @@ let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
       | [], _ | _, [] -> assert false
     in
     { inl; dnl; max_abs_inl = worst inls; max_abs_dnl = worst dnls; sigma_t }
+
+(* --- per-capacitor INL attribution (ccgen explain) ---
+
+   At the worst code, with d_on = sys_on + 3 sigma_on and
+   d_t = sys_total + 3 sigma_t + C_top (Paper signs),
+
+     INL * LSB = V_REF (d_on C_T - C_ON d_t) / (C_T (C_T + d_t))
+
+   Both d_on and d_t are sums over capacitors: sys_on and sys_total split
+   per capacitor directly, and the sigmas split through covariance row
+   sums — sigma_S = sum over k in S of (sum over j in S of Cov(k,j)) /
+   sigma_S — which attributes the correlated 3-sigma mass to each
+   capacitor in proportion to its covariance with the rest of the subset.
+   The top-plate parasitic keeps its own pseudo-share.  The shares sum to
+   INL(code) exactly up to float association. *)
+
+type inl_share = {
+  cap : int;
+  on : bool;
+  systematic_lsb : float;
+  random_lsb : float;
+  total_lsb : float;
+}
+
+type attribution = {
+  code : int;
+  inl_lsb : float;
+  shares : inl_share list;
+  parasitic_lsb : float;
+}
+
+let attribute tech ?theta ?profile ?(top_parasitic = 0.) placement =
+  let bits = placement.Ccgrid.Placement.bits in
+  let vref = 1.0 in
+  let m = float_of_int placement.Ccgrid.Placement.unit_multiplier in
+  let cu = tech.Tech.Process.unit_cap in
+  let codes = Transfer.num_codes ~bits in
+  let c_t = float_of_int codes *. m *. cu in
+  let lsb = Transfer.lsb ~bits ~vref in
+  let sys, cov, sigma_t = model_inputs tech ?theta ?profile placement in
+  let inl =
+    inl_of_voltages ~bits
+      (voltages tech placement ~sys ~cov ~sigma_t ~top_parasitic ~s_on:1.
+         ~s_t:1.)
+  in
+  let code =
+    let best = ref 0 in
+    Array.iteri
+      (fun i x -> if Float.abs x > Float.abs inl.(!best) then best := i)
+      inl;
+    !best
+  in
+  let on k = k >= 1 && Transfer.bit ~code k in
+  let on_caps = List.filter on (List.init (bits + 1) Fun.id) in
+  let sigma_on = Capmodel.Covariance.sigma_of_subset cov on_caps in
+  let sys_total = Array.fold_left ( +. ) 0. sys in
+  let delta_t = sys_total +. (3. *. sigma_t) +. top_parasitic in
+  let c_on = float_of_int code *. m *. cu in
+  let k_norm = vref /. (c_t *. (c_t +. delta_t) *. lsb) in
+  let row_sum subset k =
+    List.fold_left
+      (fun acc j -> acc +. Capmodel.Covariance.covariance cov k j)
+      0. subset
+  in
+  let all_caps = List.init (bits + 1) Fun.id in
+  let shares =
+    List.map
+      (fun k ->
+         let rho_on =
+           if on k && sigma_on > 0. then row_sum on_caps k /. sigma_on else 0.
+         in
+         let rho_t =
+           if sigma_t > 0. then row_sum all_caps k /. sigma_t else 0.
+         in
+         let systematic_lsb =
+           k_norm
+           *. (((if on k then sys.(k) *. c_t else 0.)) -. (c_on *. sys.(k)))
+         in
+         let random_lsb =
+           k_norm *. ((c_t *. 3. *. rho_on) -. (c_on *. 3. *. rho_t))
+         in
+         { cap = k; on = on k; systematic_lsb; random_lsb;
+           total_lsb = systematic_lsb +. random_lsb })
+      all_caps
+  in
+  let parasitic_lsb = -.k_norm *. c_on *. top_parasitic in
+  { code; inl_lsb = inl.(code); shares; parasitic_lsb }

@@ -30,3 +30,33 @@ type t = {
 val analyze :
   Tech.Process.t -> ?theta:float -> ?profile:Capmodel.Profile.t ->
   ?sign_mode:sign_mode -> ?top_parasitic:float -> Ccgrid.Placement.t -> t
+
+(** One capacitor's share of the worst-code INL. *)
+type inl_share = {
+  cap : int;                (** capacitor index; [0] is the grounded C_0 *)
+  on : bool;                (** switched to [V_REF] at the worst code *)
+  systematic_lsb : float;   (** oxide-gradient share *)
+  random_lsb : float;       (** correlated 3-sigma mismatch share *)
+  total_lsb : float;        (** [systematic_lsb +. random_lsb] *)
+}
+
+(** Per-capacitor decomposition of the INL at the worst code. *)
+type attribution = {
+  code : int;               (** argmax of [|inl|] over all codes *)
+  inl_lsb : float;          (** [inl.(code)] under [Paper] signs *)
+  shares : inl_share list;  (** one per capacitor, index order *)
+  parasitic_lsb : float;    (** top-plate parasitic pseudo-share *)
+}
+
+(** [attribute tech ?theta ?profile ?top_parasitic placement] decomposes
+    the worst-code INL per capacitor: the systematic shifts split
+    directly, the correlated 3-sigma terms split through covariance row
+    sums (each capacitor gets the sigma mass in proportion to its
+    covariance with the rest of the subset), and the top-plate parasitic
+    keeps its own pseudo-share.  The [total_lsb] fields plus
+    [parasitic_lsb] sum to [inl_lsb] exactly (up to float association).
+    Uses [Paper] signs, matching the [inl] array {!analyze} reports in
+    every sign mode.  Same cost as {!analyze}'s INL pass. *)
+val attribute :
+  Tech.Process.t -> ?theta:float -> ?profile:Capmodel.Profile.t ->
+  ?top_parasitic:float -> Ccgrid.Placement.t -> attribution

@@ -1,0 +1,40 @@
+module Json = Telemetry.Json
+
+let save ~path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc "{\"version\": 1, \"records\": [\n";
+       List.iteri
+         (fun i r ->
+            if i > 0 then output_string oc ",\n";
+            output_string oc (Json.to_string (Record.to_json r)))
+         records;
+       output_string oc "\n]}\n")
+
+let load ~path =
+  match
+    In_channel.with_open_text path In_channel.input_all |> Json.parse
+  with
+  | Ok doc ->
+    (match Option.bind (Json.member "records" doc) Json.to_list with
+     | Some entries ->
+       let records =
+         List.filter_map
+           (fun j -> match Record.of_json j with Ok r -> Some r | Error _ -> None)
+           entries
+       in
+       if records = [] then
+         Error (path ^ ": baseline document contains no parseable record")
+       else Ok records
+     | None ->
+       Error
+         (path
+          ^ ": not a baseline document ({\"version\", \"records\": [...]})"))
+  | Error _ ->
+    (* not one JSON document: try the JSONL ledger shape *)
+    (match Ledger.load ~path with
+     | [], _ -> Error (path ^ ": neither a baseline document nor a ledger")
+     | records, _ -> Ok (Ledger.latest_by_label records))
+  | exception Sys_error e -> Error e

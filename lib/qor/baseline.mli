@@ -1,0 +1,18 @@
+(** The committed reference the sentinel diffs against:
+    [BENCH_baseline.json], a single JSON document
+
+    {v
+    {"version": 1, "records": [ <QoR record>, ... ]}
+    v}
+
+    kept in one file (not JSONL) so it diffs readably in review.  {!load}
+    also accepts a bare JSONL ledger, so a ledger file can serve directly
+    as a baseline. *)
+
+(** [save ~path records] writes the document, one record per line inside
+    the array.  Raises [Sys_error] when the path cannot be written. *)
+val save : path:string -> Record.t list -> unit
+
+(** [load ~path] reads either shape.  [Error] on unreadable file,
+    unparseable document, or a document with no parseable record. *)
+val load : path:string -> (Record.t list, string) result

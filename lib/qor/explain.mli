@@ -1,0 +1,61 @@
+(** Per-element attribution behind [ccgen explain]: which wire segment,
+    via stack, or unit capacitor a QoR number comes from.
+
+    Two decompositions of one flow result:
+
+    - {b delay}: the worst-bit Elmore delay split over the physical
+      elements (via stacks, wire segments per layer, plate abutments) of
+      the critical capacitor's root-to-worst-cell path, via
+      {!Extract.Netbuild.attribution} /  {!Rcnet.Elmore.breakdown}.  The
+      element delays sum to [delay_total_fs] exactly (up to float
+      association).
+    - {b INL}: the worst-code INL split per capacitor (plus the
+      top-plate-parasitic pseudo-element), via
+      {!Dacmodel.Nonlinearity.attribute}.  The element totals sum to
+      [inl_lsb] exactly. *)
+
+type delay_element = {
+  de_label : string;       (** e.g. ["strap ch2->cell(3,4)"] *)
+  de_kind : string;        (** ["via"], ["wire"], ["plate"] *)
+  de_layer : string;       (** ["M1"], ["M3"], ["via"], ["plate"] *)
+  de_r_ohm : float;
+  de_c_ff : float;         (** capacitance charged through the element *)
+  de_delay_fs : float;
+  de_share : float;        (** fraction of [delay_total_fs] *)
+}
+
+type inl_element = {
+  ie_name : string;        (** ["C_3"], or ["top-plate parasitic"] *)
+  ie_on : bool;            (** switched to [V_REF] at the worst code *)
+  ie_systematic_lsb : float;
+  ie_random_lsb : float;
+  ie_total_lsb : float;
+  ie_share : float;        (** signed fraction of [inl_lsb] *)
+}
+
+type t = {
+  style : string;
+  bits : int;
+  critical_bit : int;
+  worst_cell : string;            (** ["cell(2,5)"] *)
+  delay_total_fs : float;         (** sum of the element delays *)
+  tau_fs : float;                 (** the flow's reported time constant *)
+  f3db_mhz : float;
+  delay_elements : delay_element list;  (** root-first path order *)
+  inl_code : int;                 (** argmax |INL| *)
+  inl_lsb : float;
+  max_inl_lsb : float;            (** the flow's reported max |INL| *)
+  inl_elements : inl_element list;      (** capacitor order, parasitic last *)
+}
+
+(** [of_result r] builds both decompositions from a flow result.
+    Records a [qor.explain] span and the [qor/explain_elements] gauge. *)
+val of_result : Ccdac.Flow.result -> t
+
+(** [text ?top t] renders both tables, largest-|share| first, keeping
+    the [top] biggest delay contributors (default 10; INL elements are
+    few and always all shown). *)
+val text : ?top:int -> t -> string
+
+(** Full element lists, no truncation. *)
+val to_json : t -> Telemetry.Json.t

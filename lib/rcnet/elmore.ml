@@ -4,23 +4,25 @@
 type oriented = {
   parent : int array;          (* -1 for root *)
   parent_r : float array;      (* resistance of edge to parent *)
+  parent_edge : int array;     (* insertion index of the edge to parent *)
   order : int array;           (* BFS order, root first *)
 }
 
 let orient tree ~root =
   let n = Rctree.num_nodes tree in
   let adj = Array.make n [] in
-  List.iter
-    (fun (a, b, r) ->
+  List.iteri
+    (fun i (a, b, r) ->
        let a = (a : Rctree.node :> int) and b = (b : Rctree.node :> int) in
-       adj.(a) <- (b, r) :: adj.(a);
-       adj.(b) <- (a, r) :: adj.(b))
+       adj.(a) <- (b, r, i) :: adj.(a);
+       adj.(b) <- (a, r, i) :: adj.(b))
     (Rctree.edges tree);
   if Rctree.num_edges tree <> n - 1 then
     invalid_arg "Elmore: edge count <> nodes - 1 (not a tree)";
   let root = (root : Rctree.node :> int) in
   let parent = Array.make n (-2) in
   let parent_r = Array.make n 0. in
+  let parent_edge = Array.make n (-1) in
   let order = Array.make n root in
   let q = Queue.create () in
   parent.(root) <- -1;
@@ -31,16 +33,17 @@ let orient tree ~root =
     order.(!idx) <- u;
     incr idx;
     List.iter
-      (fun (v, r) ->
+      (fun (v, r, i) ->
          if parent.(v) = -2 then begin
            parent.(v) <- u;
            parent_r.(v) <- r;
+           parent_edge.(v) <- i;
            Queue.add v q
          end)
       adj.(u)
   done;
   if !idx <> n then invalid_arg "Elmore: graph is disconnected";
-  { parent; parent_r; order }
+  { parent; parent_r; parent_edge; order }
 
 let delays tree ~root =
   let n = Rctree.num_nodes tree in
@@ -50,7 +53,7 @@ let delays tree ~root =
     Telemetry.Metrics.observe "rcnet/edges"
       (float_of_int (Rctree.num_edges tree))
   end;
-  let { parent; parent_r; order } = orient tree ~root in
+  let { parent; parent_r; order; _ } = orient tree ~root in
   let subtree = Array.init n (fun i -> Rctree.node_cap tree (Rctree.node_of_int tree i)) in
   (* bottom-up: reverse BFS order *)
   for i = n - 1 downto 1 do
@@ -81,3 +84,39 @@ let path_resistance tree ~root n =
     if parent.(u) < 0 then acc else walk parent.(u) (acc +. parent_r.(u))
   in
   walk ((n : Rctree.node :> int)) 0.
+
+type contribution = {
+  edge : int;
+  upstream : Rctree.node;
+  downstream : Rctree.node;
+  r : float;
+  c_downstream : float;
+  delay : float;
+}
+
+let breakdown tree ~root n =
+  let num = Rctree.num_nodes tree in
+  let { parent; parent_r; parent_edge; order } = orient tree ~root in
+  let subtree =
+    Array.init num (fun i -> Rctree.node_cap tree (Rctree.node_of_int tree i))
+  in
+  for i = num - 1 downto 1 do
+    let u = order.(i) in
+    if parent.(u) >= 0 then
+      subtree.(parent.(u)) <- subtree.(parent.(u)) +. subtree.(u)
+  done;
+  (* the root->n path, root-first; each edge contributes R_e * C_subtree(e) *)
+  let rec walk u acc =
+    if parent.(u) < 0 then acc
+    else
+      let c =
+        { edge = parent_edge.(u);
+          upstream = Rctree.node_of_int tree parent.(u);
+          downstream = Rctree.node_of_int tree u;
+          r = parent_r.(u);
+          c_downstream = subtree.(u);
+          delay = parent_r.(u) *. subtree.(u) }
+      in
+      walk parent.(u) (c :: acc)
+  in
+  walk ((n : Rctree.node :> int)) []

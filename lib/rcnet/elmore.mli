@@ -21,3 +21,24 @@ val max_delay : Rctree.t -> root:Rctree.node -> over:Rctree.node list -> float
 (** [path_resistance tree ~root n] is the total resistance (ohm) along the
     root->n path. *)
 val path_resistance : Rctree.t -> root:Rctree.node -> Rctree.node -> float
+
+(** One edge's share of an Elmore delay: the path edge's resistance times
+    the capacitance of the subtree hanging below it. *)
+type contribution = {
+  edge : int;                (** index into {!Rctree.edges} insertion order *)
+  upstream : Rctree.node;    (** endpoint closer to the root *)
+  downstream : Rctree.node;
+  r : float;                 (** ohm *)
+  c_downstream : float;      (** fF: total capacitance below the edge *)
+  delay : float;             (** [r *. c_downstream], femtoseconds *)
+}
+
+(** [breakdown tree ~root n] is the per-edge decomposition of the Elmore
+    delay from [root] to [n]: the edges of the root->n path in root-first
+    order, whose [delay] fields sum {e exactly} (up to float association)
+    to [delay_to tree ~root n].  This is the attribution primitive behind
+    [ccgen explain]: map [edge] back to the physical element that created
+    it to name each wire segment's and via stack's share of the worst-bit
+    delay.  Same preconditions as {!delays}. *)
+val breakdown :
+  Rctree.t -> root:Rctree.node -> Rctree.node -> contribution list

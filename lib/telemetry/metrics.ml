@@ -179,6 +179,37 @@ let labels dump id =
     (fun p -> if String.equal p.metric.Metric.id id then Some p.label else None)
     dump
 
+(* Quantile estimate from bucket boundaries: find the bucket holding the
+   rank-q observation and interpolate linearly inside it.  The first
+   bucket's lower edge is 0; the overflow bucket clamps to the last
+   declared bound (we know nothing above it). *)
+let quantile value q =
+  match value with
+  | Count _ | Value _ -> None
+  | Dist d ->
+    if d.total = 0 || Array.length d.bounds = 0 then None
+    else if not (Float.is_finite q) || q < 0. || q > 1. then
+      invalid_arg "Telemetry.Metrics.quantile: q outside [0, 1]"
+    else begin
+      let nb = Array.length d.bounds in
+      let rank = q *. float_of_int d.total in
+      let rec locate i seen =
+        if i > nb then (nb, seen)
+        else
+          let seen' = seen + d.counts.(i) in
+          if float_of_int seen' >= rank && d.counts.(i) > 0 then (i, seen)
+          else locate (i + 1) seen'
+      in
+      let i, below = locate 0 0 in
+      if i >= nb then Some d.bounds.(nb - 1)
+      else
+        let lo = if i = 0 then 0. else d.bounds.(i - 1) in
+        let hi = d.bounds.(i) in
+        let inside = (rank -. float_of_int below) /. float_of_int d.counts.(i) in
+        let inside = Float.max 0. (Float.min 1. inside) in
+        Some (lo +. ((hi -. lo) *. inside))
+    end
+
 (* --- rendering --- *)
 
 let point_name p =
@@ -202,7 +233,13 @@ let value_text unit_ = function
               else Printf.sprintf ">%g: %d" d.bounds.(Array.length d.bounds - 1) c)
            (Array.to_list d.counts))
     in
-    Printf.sprintf "count=%d sum=%g [%s]" d.total d.sum buckets
+    let q p =
+      match quantile (Dist d) p with
+      | Some v -> Printf.sprintf "%g" v
+      | None -> "-"
+    in
+    Printf.sprintf "count=%d sum=%g p50=%s p95=%s [%s]" d.total d.sum (q 0.5)
+      (q 0.95) buckets
 
 let to_text dump =
   let buf = Buffer.create 512 in
@@ -228,9 +265,14 @@ let value_json = function
                ("count", Json.Num (float_of_int c)) ])
         (Array.to_list d.counts)
     in
+    let qjson p =
+      match quantile (Dist d) p with Some v -> Json.Num v | None -> Json.Null
+    in
     Json.Obj
       [ ("count", Json.Num (float_of_int d.total));
         ("sum", Json.Num d.sum);
+        ("p50", qjson 0.5);
+        ("p95", qjson 0.95);
         ("buckets", Json.Arr buckets) ]
 
 let to_json dump =

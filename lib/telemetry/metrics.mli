@@ -70,6 +70,15 @@ val gauge : ?label:string -> dump -> string -> float option
 (** [labels dump id] is the sorted labels recorded against [id]. *)
 val labels : dump -> string -> string option list
 
+(** [quantile value q] estimates the [q]-quantile ([0 <= q <= 1]) of a
+    histogram from its bucket boundaries: locate the bucket holding the
+    rank-[q] observation and interpolate linearly inside it, taking the
+    first bucket's lower edge as 0 and clamping the overflow bucket to
+    the last declared bound.  [None] for counters, gauges, and empty
+    histograms; raises [Invalid_argument] when [q] is outside [0, 1].
+    Rendered as [p50]/[p95] in {!to_text} and {!to_json}. *)
+val quantile : value -> float -> float option
+
 (** [to_text dump] is the aligned human-readable dump. *)
 val to_text : dump -> string
 

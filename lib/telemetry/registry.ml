@@ -93,7 +93,24 @@ let definitions =
       ~doc:"DAC codes evaluated by the last nonlinearity analysis (2^N).";
     m ~id:"analyse/mc_trials_total" ~kind:Metric.Counter ~stage:"analyse"
       ~unit_:"1" ~cardinality:"1"
-      ~doc:"Monte-Carlo mismatch trials evaluated." ]
+      ~doc:"Monte-Carlo mismatch trials evaluated.";
+    (* qor *)
+    m ~id:"qor/records_total" ~kind:Metric.Counter ~stage:"qor" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"QoR records appended to a ledger.";
+    m ~id:"qor/ledger_records" ~kind:Metric.Gauge ~stage:"qor" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Records parsed from the last ledger load.";
+    m ~id:"qor/diffs_total" ~kind:Metric.Counter ~stage:"qor" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Baseline comparisons executed by the regression sentinel.";
+    m ~id:"qor/verdicts_total" ~kind:Metric.Counter ~stage:"qor" ~unit_:"1"
+      ~cardinality:"per verdict (improved, unchanged, regressed, incomparable)"
+      ~doc:"Per-metric verdicts emitted across comparisons, by verdict.";
+    m ~id:"qor/explain_elements" ~kind:Metric.Gauge ~stage:"qor" ~unit_:"1"
+      ~cardinality:"1"
+      ~doc:"Physical elements in the last attribution breakdown (delay \
+            parts plus capacitor INL shares)." ]
 
 let all =
   let sorted =

@@ -38,9 +38,48 @@ let event_json (c : Span.complete) =
   in
   Json.Obj (base @ args)
 
+(* Metadata ("ph": "M") events so Perfetto labels the process and thread
+   rows: the process is the tool, the thread is the root span's name with
+   its attrs (e.g. ["flow.run style=spiral bits=8"]) — the attrs the flow
+   stamps on its root span become the track title. *)
+let metadata_events spans =
+  let meta name value =
+    Json.Obj
+      [ ("name", Json.Str name);
+        ("ph", Json.Str "M");
+        ("pid", Json.Num 1.);
+        ("tid", Json.Num 1.);
+        ("args", Json.Obj [ ("name", Json.Str value) ]) ]
+  in
+  let root =
+    List.fold_left
+      (fun best (c : Span.complete) ->
+         match best with
+         | None -> Some c
+         | Some (b : Span.complete) ->
+           if c.Span.depth < b.Span.depth
+              || (c.Span.depth = b.Span.depth && c.Span.seq < b.Span.seq)
+           then Some c
+           else best)
+      None spans
+  in
+  let thread_name =
+    match root with
+    | None -> "idle"
+    | Some c ->
+      String.concat " "
+        (c.Span.name
+         :: List.map
+              (fun (k, v) ->
+                 Format.asprintf "%s=%a" k Span.pp_value v)
+              c.Span.attrs)
+  in
+  [ meta "process_name" "ccdac"; meta "thread_name" thread_name ]
+
 let events_json spans =
   Json.Obj
-    [ ("traceEvents", Json.Arr (List.map event_json spans));
+    [ ( "traceEvents",
+        Json.Arr (metadata_events spans @ List.map event_json spans) );
       ("displayTimeUnit", Json.Str "ms") ]
 
 let chrome_trace ~path =

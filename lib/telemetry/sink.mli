@@ -26,7 +26,11 @@ val text : ?ppf:Format.formatter -> unit -> t
 val chrome_trace : path:string -> t
 
 (** [events_json spans] is the Chrome [trace_event] document for an
-    already-collected span list (what {!chrome_trace} writes). *)
+    already-collected span list (what {!chrome_trace} writes).  The
+    event list opens with ["ph": "M"] metadata events naming the process
+    ([ccdac]) and the thread after the root span — its name plus its
+    attrs (e.g. ["flow.run style=spiral bits=8"]) — so Perfetto titles
+    the tracks usefully. *)
 val events_json : Span.complete list -> Json.t
 
 (** [with_ sink f] installs [sink] for the duration of [f] and closes it

@@ -204,9 +204,24 @@ let test_chrome_trace_file () =
        match T.Json.parse body with
        | Error e -> Alcotest.fail ("trace not parseable: " ^ e)
        | Ok doc ->
-         let events =
+         let all =
            Option.get (T.Json.to_list (Option.get (T.Json.member "traceEvents" doc)))
          in
+         let ph e =
+           Option.bind (T.Json.member "ph" e) T.Json.to_str
+         in
+         (* the array leads with process/thread metadata events *)
+         let metadata, events =
+           List.partition (fun e -> ph e = Some "M") all
+         in
+         Alcotest.(check int) "two metadata events" 2 (List.length metadata);
+         let meta_arg e =
+           Option.bind (T.Json.member "args" e) (fun a ->
+               Option.bind (T.Json.member "name" a) T.Json.to_str)
+         in
+         Alcotest.(check (list (option string))) "process and thread names"
+           [ Some "ccdac"; Some "root bits=8" ]
+           (List.map meta_arg metadata);
          Alcotest.(check int) "two events" 2 (List.length events);
          let names =
            List.filter_map
