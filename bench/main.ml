@@ -147,12 +147,35 @@ let bench_flow_overhead () =
       ("recorded_s", Num recorded);
       ("ratio", Num (recorded /. idle)) ]
 
+(* Measured Monte-Carlo speedup at the session's job count (CCDAC_JOBS;
+   ~1.0 when serial).  One probe per document — the value is a property
+   of the machine and the pool, not of a (style, bits) cell. *)
+let bench_par_speedup () =
+  let p = Ccdac.Parbench.mc_speedup ~tech ~jobs:(Par.Jobs.resolve None) () in
+  let open Telemetry.Json in
+  ( p.Ccdac.Parbench.speedup,
+    Obj
+      [ ("jobs", Num (float_of_int p.Ccdac.Parbench.jobs));
+        ("trials", Num (float_of_int p.Ccdac.Parbench.trials));
+        ("serial_s", Num p.Ccdac.Parbench.serial_s);
+        ("parallel_s", Num p.Ccdac.Parbench.parallel_s);
+        ("speedup", Num p.Ccdac.Parbench.speedup) ] )
+
 let benchflow () =
   let path = out_path "BENCH_flow.json" in
   banner path;
+  let par_speedup, parallel = bench_par_speedup () in
   let runs =
     List.concat_map
-      (fun bits -> List.map (bench_flow_run bits) (bench_flow_styles bits))
+      (fun bits ->
+         List.map
+           (fun style ->
+              match bench_flow_run bits style with
+              | Telemetry.Json.Obj fields ->
+                Telemetry.Json.Obj
+                  (fields @ [ ("par_speedup", Telemetry.Json.Num par_speedup) ])
+              | other -> other)
+           (bench_flow_styles bits))
       table_bits
   in
   let doc =
@@ -161,6 +184,7 @@ let benchflow () =
       [ ("version", Num 1.);
         ("tech", Str tech.Tech.Process.name);
         ("repeat", Num 5.);
+        ("parallel", parallel);
         ("runs", Arr runs);
         ("null_sink_overhead", bench_flow_overhead ()) ]
   in

@@ -24,6 +24,21 @@ let verbose_arg =
   let doc = "Print debug logs (stage timings)." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sections (Monte-Carlo trials, sweep \
+     rows, sizing candidates); 0 = one per core.  Overrides the \
+     $(b,CCDAC_JOBS) environment variable; default 1 (serial).  Results \
+     are bitwise-identical at every value (docs/PARALLEL.md)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+(* [--jobs] sets the process-wide default that every [?jobs]-taking entry
+   point resolves against, so one flag reaches all parallel sections. *)
+let apply_jobs = function
+  | None -> ()
+  | Some n -> Par.Jobs.set_default n
+
 let style_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -164,8 +179,9 @@ let load_arg =
 
 let run_cmd =
   let run bits style granularity tech refine_swaps verbose load trace
-      metrics_fmt =
+      metrics_fmt jobs =
     setup_logs verbose;
+    apply_jobs jobs;
     check_bits bits;
     let style = resolve_style ~bits ~granularity style in
     let r =
@@ -199,12 +215,13 @@ let run_cmd =
   let doc = "Run the full flow (place, route, extract, analyse) and report." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ refine_arg
-          $ verbose_arg $ load_arg $ trace_arg $ metrics_arg)
+          $ verbose_arg $ load_arg $ trace_arg $ metrics_arg $ jobs_arg)
 
 (* --- compare --- *)
 
 let compare_cmd =
-  let run bits tech =
+  let run bits tech jobs =
+    apply_jobs jobs;
     check_bits bits;
     let rows = [ (bits, Ccdac.Sweep.row ~tech ~bits ()) ] in
     print_string (Ccdac.Report.table1 rows);
@@ -212,12 +229,14 @@ let compare_cmd =
     print_string (Ccdac.Report.table2 rows)
   in
   let doc = "Compare the four methods ([1], [7], S, best BC) at one resolution." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ bits_arg $ tech_arg)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ bits_arg $ tech_arg $ jobs_arg)
 
 (* --- tables --- *)
 
 let tables_cmd =
-  let run tech =
+  let run tech jobs =
+    apply_jobs jobs;
     let rows =
       List.map (fun bits -> (bits, Ccdac.Sweep.row ~tech ~bits ())) [ 6; 7; 8; 9; 10 ]
     in
@@ -240,7 +259,7 @@ let tables_cmd =
     print_string (Ccdac.Report.fig6b rows)
   in
   let doc = "Regenerate the paper's Tables I-III and Fig. 6b." in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ tech_arg)
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ tech_arg $ jobs_arg)
 
 (* --- svg --- *)
 
@@ -274,7 +293,8 @@ let mc_cmd =
     let doc = "Number of Monte-Carlo trials." in
     Arg.(value & opt int 500 & info [ "n"; "trials" ] ~docv:"N" ~doc)
   in
-  let run bits style granularity tech trials =
+  let run bits style granularity tech trials jobs =
+    apply_jobs jobs;
     check_bits bits;
     let style = resolve_style ~bits ~granularity style in
     let r = Ccdac.Flow.run ~tech ~bits style in
@@ -299,7 +319,8 @@ let mc_cmd =
   in
   let doc = "Monte-Carlo linearity analysis (the numerical-yield alternative)." in
   Cmd.v (Cmd.info "mc" ~doc)
-    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ trials_arg)
+    Term.(const run $ bits_arg $ style_arg $ gran_arg $ tech_arg $ trials_arg
+          $ jobs_arg)
 
 (* --- spectrum --- *)
 
@@ -644,8 +665,9 @@ let profile_cmd =
         ("area_um2", Num r.area) ]
   in
   let run bits_list styles granularity tech repeat json verbose trace
-      metrics_fmt =
+      metrics_fmt jobs =
     setup_logs verbose;
+    apply_jobs jobs;
     if repeat < 1 then begin
       Printf.eprintf "ccgen: --repeat must be >= 1\n";
       exit 2
@@ -723,7 +745,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bits_list_arg $ styles_arg $ gran_arg $ tech_arg
-          $ repeat_arg $ json_arg $ verbose_arg $ trace_arg $ metrics_arg)
+          $ repeat_arg $ json_arg $ verbose_arg $ trace_arg $ metrics_arg
+          $ jobs_arg)
 
 (* --- qor: record / diff / history / explain --- *)
 
@@ -749,13 +772,14 @@ let qor_median_run ~tech ~bits ~repeat style =
   in
   List.nth sorted (List.length sorted / 2)
 
-let qor_matrix ~tech ~granularity ~repeat bits_list styles =
+let qor_matrix ?(jobs = 1) ?(par_speedup = Float.nan) ~tech ~granularity
+    ~repeat bits_list styles =
   List.concat_map
     (fun bits ->
        List.map
          (fun s ->
             let style = resolve_style ~bits ~granularity s in
-            Qor.Record.of_result ~repeat
+            Qor.Record.of_result ~repeat ~jobs ~par_speedup
               (qor_median_run ~tech ~bits ~repeat style))
          styles)
     bits_list
@@ -777,18 +801,27 @@ let qor_repeat_arg =
   Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"R" ~doc)
 
 let record_cmd =
-  let run bits_list styles granularity tech repeat ledger json verbose =
+  let run bits_list styles granularity tech repeat ledger json verbose jobs =
     setup_logs verbose;
+    apply_jobs jobs;
     if repeat < 1 then begin
       Printf.eprintf "ccgen: --repeat must be >= 1\n";
       exit 2
     end;
     List.iter check_bits bits_list;
+    (* measure the parallel speedup once per invocation (serial runs
+       record nan) and stamp it on every record of the batch *)
+    let jobs_n = Par.Jobs.resolve None in
+    let par_speedup =
+      if jobs_n <= 1 then Float.nan
+      else (Ccdac.Parbench.mc_speedup ~tech ~jobs:jobs_n ()).Ccdac.Parbench.speedup
+    in
     let records, _ =
       Telemetry.Metrics.collect @@ fun () ->
       Telemetry.Span.with_ ~name:"qor.record" @@ fun () ->
       let records =
-        qor_matrix ~tech ~granularity ~repeat bits_list styles
+        qor_matrix ~jobs:jobs_n ~par_speedup ~tech ~granularity ~repeat
+          bits_list styles
       in
       (try List.iter (fun r -> Qor.Ledger.append ~path:ledger r) records
        with Sys_error e ->
@@ -819,7 +852,8 @@ let record_cmd =
   in
   Cmd.v (Cmd.info "record" ~doc)
     Term.(const run $ qor_bits_list_arg $ qor_styles_arg $ gran_arg $ tech_arg
-          $ qor_repeat_arg $ ledger_arg $ qor_json_arg $ verbose_arg)
+          $ qor_repeat_arg $ ledger_arg $ qor_json_arg $ verbose_arg
+          $ jobs_arg)
 
 let baseline_arg =
   let doc = "Baseline document to diff against (BENCH_baseline.json)." in
@@ -989,7 +1023,8 @@ let explain_cmd =
 (* --- sweep --- *)
 
 let sweep_cmd =
-  let run bits tech =
+  let run bits tech jobs =
+    apply_jobs jobs;
     check_bits bits;
     let points =
       Ccdac.Sweep.parallel_sweep ~tech ~bits ~style:Ccplace.Style.Spiral
@@ -998,7 +1033,8 @@ let sweep_cmd =
     print_string (Ccdac.Report.fig6a [ (bits, points) ])
   in
   let doc = "Sweep the number of parallel wires on the spiral (Fig. 6a)." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ bits_arg $ tech_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ bits_arg $ tech_arg $ jobs_arg)
 
 let main =
   let doc =

@@ -39,20 +39,27 @@ let standard_normal state =
   let u2 = Random.State.float state 1. in
   sqrt (-2. *. Float.log u1) *. cos (2. *. Float.pi *. u2)
 
-let sampler ?(seed = 0x5eed) cov =
+type factor = float array array
+
+let factorize cov =
   let n = Covariance.size cov in
   let m =
     Array.init n (fun j -> Array.init n (fun k -> Covariance.covariance cov j k))
   in
-  { factor = cholesky m; state = Random.State.make [| seed |] }
+  cholesky m
 
-let draw s =
-  let n = Array.length s.factor in
-  let z = Array.init n (fun _ -> standard_normal s.state) in
+let draw_from factor state =
+  let n = Array.length factor in
+  let z = Array.init n (fun _ -> standard_normal state) in
   Array.init n
     (fun i ->
        let acc = ref 0. in
        for k = 0 to i do
-         acc := !acc +. (s.factor.(i).(k) *. z.(k))
+         acc := !acc +. (factor.(i).(k) *. z.(k))
        done;
        !acc)
+
+let sampler ?(seed = 0x5eed) cov =
+  { factor = factorize cov; state = Random.State.make [| seed |] }
+
+let draw s = draw_from s.factor s.state

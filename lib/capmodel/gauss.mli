@@ -18,6 +18,22 @@ val sampler : ?seed:int -> Covariance.t -> sampler
 (** [draw s] is one joint sample of the capacitor shifts, fF. *)
 val draw : sampler -> float array
 
+(** {2 Split factorisation} — for callers that draw from many
+    independent [Random.State] substreams against one covariance (the
+    parallel Monte-Carlo engine): factorise once, draw per stream. *)
+
+(** A lower-triangular Cholesky factor of a covariance. *)
+type factor
+
+(** [factorize cov] is the factor {!sampler} would embed (same jitter
+    discipline). *)
+val factorize : Covariance.t -> factor
+
+(** [draw_from factor state] is one joint sample using [state]'s
+    variates.  [draw s] is exactly [draw_from] on the sampler's embedded
+    factor and stream. *)
+val draw_from : factor -> Random.State.t -> float array
+
 (** [cholesky m] is the lower-triangular factor [l] with [l l^T = m].
     Raises [Invalid_argument] when the matrix is not (numerically)
     positive semidefinite or not square.  Exposed for tests. *)

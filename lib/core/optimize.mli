@@ -23,17 +23,24 @@ type candidate = {
     and correspondingly scaled unit-cell geometry. *)
 val scale_tech : Tech.Process.t -> unit_cap:float -> Tech.Process.t
 
-(** [evaluate ?tech ?trials ?bound ~bits ~style ~unit_cap ()] runs the
-    flow and the Monte-Carlo analysis at one candidate C_u. *)
+(** [evaluate ?tech ?trials ?bound ?jobs ~bits ~style ~unit_cap ()] runs
+    the flow and the Monte-Carlo analysis at one candidate C_u ([jobs]
+    parallelises the Monte-Carlo trials). *)
 val evaluate :
-  ?tech:Tech.Process.t -> ?trials:int -> ?bound:float ->
+  ?tech:Tech.Process.t -> ?trials:int -> ?bound:float -> ?jobs:int ->
   bits:int -> style:Ccplace.Style.t -> unit_cap:float -> unit -> candidate
 
-(** [minimum_unit_cap ?tech ?trials ?bound ?target_yield ~bits ~style
-    candidates] evaluates the (ascending) candidate C_u values and returns
-    the first meeting the yield target (default 0.99), or [None] with all
-    candidates exhausted.  Returns the full evaluation trace alongside. *)
+(** [minimum_unit_cap ?tech ?trials ?bound ?target_yield ?jobs ~bits
+    ~style candidates] evaluates the (ascending) candidate C_u values and
+    returns the first meeting the yield target (default 0.99), or [None]
+    with all candidates exhausted.  Returns the evaluation trace
+    alongside.
+
+    With [jobs > 1] the walk speculates: [jobs] candidates are evaluated
+    in parallel per round, and speculative work past the earliest passing
+    candidate is discarded — answer and trace are byte-identical to the
+    serial walk at every [jobs] value (docs/PARALLEL.md). *)
 val minimum_unit_cap :
   ?tech:Tech.Process.t -> ?trials:int -> ?bound:float -> ?target_yield:float ->
-  bits:int -> style:Ccplace.Style.t -> float list ->
+  ?jobs:int -> bits:int -> style:Ccplace.Style.t -> float list ->
   candidate option * candidate list

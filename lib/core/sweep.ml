@@ -1,50 +1,75 @@
 let acceptable r = r.Flow.max_inl <= 0.5 && r.Flow.max_dnl <= 0.5
 
-let best_block ?tech ?sign_mode ~bits () =
+let pick pool =
+  List.fold_left
+    (fun best r ->
+       match best with
+       | None -> Some r
+       | Some b -> if r.Flow.f3db_mhz > b.Flow.f3db_mhz then Some r else best)
+    None pool
+
+(* best BC: highest f3db among the linearity-clean results, falling back
+   to the whole family when none qualify *)
+let best_of_family candidates =
+  match pick (List.filter acceptable candidates) with
+  | Some r -> Some r
+  | None -> pick candidates
+
+let best_block ?tech ?sign_mode ?jobs ~bits () =
   Telemetry.Span.with_ ~name:"sweep.best_block"
     ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
   @@ fun () ->
   let candidates =
-    List.map
+    Par.Pool.map_list_exn ?jobs
       (fun style -> Flow.run ?tech ?sign_mode ~bits style)
       (Ccplace.Style.block_family ~bits)
   in
-  let pick pool =
-    List.fold_left
-      (fun best r ->
-         match best with
-         | None -> Some r
-         | Some b -> if r.Flow.f3db_mhz > b.Flow.f3db_mhz then Some r else best)
-      None pool
-  in
-  let best =
-    match pick (List.filter acceptable candidates) with
-    | Some r -> Some r
-    | None -> pick candidates
-  in
-  match best with
+  match best_of_family candidates with
   | Some r -> r
   | None -> invalid_arg "Sweep.best_block: empty BC family"
 
 let paper_methods =
   [ Ccplace.Style.Rowwise; Ccplace.Style.Chessboard; Ccplace.Style.Spiral ]
 
-let row ?tech ?sign_mode ~bits () =
+(* Take the first [n] elements and the rest.  [n <= length xs]. *)
+let split_at n xs =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+let row ?tech ?sign_mode ?jobs ~bits () =
   Telemetry.Span.with_ ~name:"sweep.row"
     ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
   @@ fun () ->
-  List.map (fun style -> Flow.run ?tech ?sign_mode ~bits style) paper_methods
-  @ [ best_block ?tech ?sign_mode ~bits () ]
+  (* One flat batch — the three paper methods and the whole BC family
+     fan out across the pool together instead of the family waiting for
+     the serial prefix to finish. *)
+  let styles = paper_methods @ Ccplace.Style.block_family ~bits in
+  let results =
+    Par.Pool.map_list_exn ?jobs
+      (fun style -> Flow.run ?tech ?sign_mode ~bits style)
+      styles
+  in
+  let firsts, family = split_at (List.length paper_methods) results in
+  match best_of_family family with
+  | Some best -> firsts @ [ best ]
+  | None -> invalid_arg "Sweep.row: empty BC family"
 
 let frontier ?(tech = Tech.Process.finfet_12nm) ?(style = Ccplace.Style.Spiral)
-    ~bits budgets =
+    ?jobs ~bits budgets =
   Telemetry.Span.with_ ~name:"sweep.frontier"
     ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
   @@ fun () ->
-  let placement = Ccplace.Style.place ~bits style in
-  List.map
+  List.iter
     (fun budget ->
-       if budget < 0 then invalid_arg "Sweep.frontier: negative budget";
+       if budget < 0 then invalid_arg "Sweep.frontier: negative budget")
+    budgets;
+  let placement = Ccplace.Style.place ~bits style in
+  Par.Pool.map_list_exn ?jobs
+    (fun budget ->
        let refined =
          if budget = 0 then placement
          else
@@ -55,13 +80,16 @@ let frontier ?(tech = Tech.Process.finfet_12nm) ?(style = Ccplace.Style.Spiral)
        (budget, Flow.run_placement ~tech ~style refined))
     budgets
 
-let parallel_sweep ?tech ~bits ~style ks =
+let parallel_sweep ?tech ?jobs ~bits ~style ks =
   Telemetry.Span.with_ ~name:"sweep.parallel"
     ~attrs:[ ("bits", Telemetry.Span.Int bits) ]
   @@ fun () ->
-  List.map
+  List.iter
     (fun k ->
-       if k < 1 then invalid_arg "Sweep.parallel_sweep: k must be >= 1";
+       if k < 1 then invalid_arg "Sweep.parallel_sweep: k must be >= 1")
+    ks;
+  Par.Pool.map_list_exn ?jobs
+    (fun k ->
        let parallel = Ccroute.Layout.msb_parallel ~bits ~p:k in
        let r = Flow.run ?tech ~parallel ~bits style in
        (k, r.Flow.f3db_mhz))

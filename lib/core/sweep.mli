@@ -1,40 +1,47 @@
 (** Multi-configuration sweeps: the paper's tables compare four methods per
     bit count and report the best block-chessboard configuration
     (Sec. V: "Several BC structures are considered ... and the best BC
-    result is reported"). *)
+    result is reported").
 
-(** [best_block ?tech ?sign_mode ~bits ()] runs the BC family (Fig. 4
-    granularities at the default core) and returns the result with the
-    highest 3 dB frequency among those with |INL| and |DNL| within 0.5 LSB
-    (all results, if none qualify). *)
+    Every entry point takes [?jobs] (default {!Par.Jobs.default}) and
+    fans its independent flow runs over a domain pool; results come back
+    in the same order as the serial code and are byte-identical at any
+    worker count (docs/PARALLEL.md). *)
+
+(** [best_block ?tech ?sign_mode ?jobs ~bits ()] runs the BC family
+    (Fig. 4 granularities at the default core) and returns the result
+    with the highest 3 dB frequency among those with |INL| and |DNL|
+    within 0.5 LSB (all results, if none qualify). *)
 val best_block :
   ?tech:Tech.Process.t ->
   ?sign_mode:Dacmodel.Nonlinearity.sign_mode ->
-  bits:int -> unit -> Flow.result
+  ?jobs:int -> bits:int -> unit -> Flow.result
 
 (** [paper_methods] in table column order: [1] proxy, [7], S, BC-best. *)
 val paper_methods : Ccplace.Style.t list
 
-(** [row ?tech ?sign_mode ~bits ()] runs all four methods for one bit
-    count; the BC entry is the best of its family.  Note the Rowwise
-    baseline substitutes [1] (DESIGN.md). *)
+(** [row ?tech ?sign_mode ?jobs ~bits ()] runs all four methods for one
+    bit count; the BC entry is the best of its family.  The three paper
+    methods and the whole family run as one parallel batch.  Note the
+    Rowwise baseline substitutes [1] (DESIGN.md). *)
 val row :
   ?tech:Tech.Process.t ->
   ?sign_mode:Dacmodel.Nonlinearity.sign_mode ->
-  bits:int -> unit -> Flow.result list
+  ?jobs:int -> bits:int -> unit -> Flow.result list
 
-(** [parallel_sweep ?tech ~bits ~style ks] reruns [style] with the MSB
-    parallel-wire count set to each [k] and returns
+(** [parallel_sweep ?tech ?jobs ~bits ~style ks] reruns [style] with the
+    MSB parallel-wire count set to each [k] and returns
     [(k, f3db_mhz)] pairs — the data of Fig. 6a. *)
 val parallel_sweep :
   ?tech:Tech.Process.t ->
-  bits:int -> style:Ccplace.Style.t -> int list -> (int * float) list
+  ?jobs:int -> bits:int -> style:Ccplace.Style.t -> int list ->
+  (int * float) list
 
-(** [frontier ?tech ?style ~bits budgets] applies the mirror-pair swap
-    refinement ({!Ccplace.Refine}) at each swap budget (0 = unrefined) and
-    analyses the result, tracing the continuous dispersion/interconnect
-    tradeoff between the paper's discrete styles.  Returns
-    [(budget, result)] in input order. *)
+(** [frontier ?tech ?style ?jobs ~bits budgets] applies the mirror-pair
+    swap refinement ({!Ccplace.Refine}) at each swap budget
+    (0 = unrefined) and analyses the result, tracing the continuous
+    dispersion/interconnect tradeoff between the paper's discrete
+    styles.  Returns [(budget, result)] in input order. *)
 val frontier :
-  ?tech:Tech.Process.t -> ?style:Ccplace.Style.t -> bits:int -> int list ->
-  (int * Flow.result) list
+  ?tech:Tech.Process.t -> ?style:Ccplace.Style.t -> ?jobs:int ->
+  bits:int -> int list -> (int * Flow.result) list

@@ -1,0 +1,25 @@
+let env_var = "CCDAC_JOBS"
+
+(* 0 = unset; any positive value is an explicit override (--jobs). *)
+let override = Atomic.make 0
+
+let auto () = max 1 (Domain.recommended_domain_count ())
+
+let of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some 0 -> Some (auto ())
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
+
+let from_env () = Option.bind (Sys.getenv_opt env_var) of_string
+
+let set_default n = Atomic.set override (if n <= 0 then auto () else n)
+
+let clear_default () = Atomic.set override 0
+
+let default () =
+  match Atomic.get override with
+  | 0 -> (match from_env () with Some n -> n | None -> 1)
+  | n -> n
+
+let resolve = function Some n -> max 1 n | None -> default ()

@@ -1,0 +1,31 @@
+(** The jobs knob: how many domains a parallel construct may use.
+
+    Resolution order, strongest first:
+    + an explicit [~jobs] argument at the call site;
+    + the process-wide default set by {!set_default} (the CLI's
+      [--jobs N]);
+    + the [CCDAC_JOBS] environment variable;
+    + [1] — serial, the deterministic baseline.
+
+    [0] always means "auto": {!Domain.recommended_domain_count}.  Every
+    parallel entry point in the tree is bitwise-deterministic in its
+    results whatever this resolves to (docs/PARALLEL.md), so the knob
+    only trades wall time. *)
+
+(** ["CCDAC_JOBS"]. *)
+val env_var : string
+
+(** [auto ()] is [Domain.recommended_domain_count ()], at least 1. *)
+val auto : unit -> int
+
+(** [set_default n] installs the process-wide default ([n <= 0] = auto). *)
+val set_default : int -> unit
+
+(** [clear_default ()] reverts to environment/serial resolution. *)
+val clear_default : unit -> unit
+
+(** [default ()] is the resolved process-wide default. *)
+val default : unit -> int
+
+(** [resolve jobs] is [max 1 n] for [Some n], else [default ()]. *)
+val resolve : int option -> int

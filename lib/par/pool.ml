@@ -1,0 +1,186 @@
+(* A fixed-size Domain worker pool with a chunked work queue.
+
+   Concurrency discipline (stdlib only — Domain, Mutex, Condition):
+
+   - [jobs] is the total concurrency: [jobs - 1] spawned worker domains
+     plus the submitting domain, which participates by draining the
+     queue while it waits.  Caller participation is what makes nested
+     [map] calls on one pool deadlock-free: a worker that submits a
+     sub-batch runs sub-tasks itself instead of blocking.
+   - Results land in per-index slots, so ordering is by construction the
+     submission order whatever the completion order.
+   - Every task runs inside its own exception barrier; a raising task
+     yields [Error {index; exn; backtrace}] in its slot and the worker
+     loop survives.  The pool never dies from a task.
+   - Tasks run under the submitter's telemetry context
+     ({!Telemetry.Context}), so metric scopes and span collectors opened
+     in the submitting domain observe parallel work, and spans keep
+     their logical parent while carrying the worker's domain id.
+   - [Domain.spawn] failure (domain limit reached) degrades the pool:
+     whatever spawned serves, down to fully serial in the caller. *)
+
+type task_error = {
+  index : int;
+  exn : exn;
+  backtrace : string;
+}
+
+exception Task_failed of task_error
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { index; exn; backtrace } ->
+      Some
+        (Printf.sprintf "Par.Pool.Task_failed(task %d: %s)%s" index
+           (Printexc.to_string exn)
+           (if backtrace = "" then ""
+            else "\nTask backtrace:\n" ^ backtrace))
+    | _ -> None)
+
+type t = {
+  size : int;                              (* requested concurrency *)
+  mutex : Mutex.t;
+  work : (unit -> unit) Queue.t;           (* guarded by [mutex] *)
+  wake : Condition.t;                      (* work arrived or stopping *)
+  mutable stop : bool;                     (* guarded by [mutex] *)
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let worker_count t = List.length t.workers
+
+(* Worker loop: drain the queue; on empty, exit if stopping else wait.
+   Tasks are exception-barriered closures, so [task ()] never raises. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.work with
+    | Some task -> Some task
+    | None ->
+      if t.stop then None
+      else begin
+        Condition.wait t.wake t.mutex;
+        next ()
+      end
+  in
+  let task = next () in
+  Mutex.unlock t.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker_loop t
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+  let t =
+    { size = jobs;
+      mutex = Mutex.create ();
+      work = Queue.create ();
+      wake = Condition.create ();
+      stop = false;
+      workers = [] }
+  in
+  (* degrade gracefully: keep whatever spawned before the limit hit *)
+  (try
+     for _ = 2 to jobs do
+       t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
+     done
+   with _ -> ());
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_ ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One task under its exception barrier. *)
+let run_one f index x =
+  match f x with
+  | y -> Ok y
+  | exception exn ->
+    let backtrace = Printexc.get_backtrace () in
+    Error { index; exn; backtrace }
+
+let serial_map f xs = List.mapi (fun i x -> run_one f i x) xs
+
+let map t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else if t.size <= 1 || t.workers = [] || n = 1 then serial_map f xs
+  else begin
+    let out = Array.make n None in
+    let ctx = Telemetry.Context.capture () in
+    (* Batch completion state shares the pool mutex. *)
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    let chunk lo hi () =
+      for i = lo to hi - 1 do
+        out.(i) <-
+          Some (Telemetry.Context.with_ ctx (fun () -> run_one f i items.(i)))
+      done;
+      Mutex.lock t.mutex;
+      remaining := !remaining - (hi - lo);
+      if !remaining = 0 then Condition.broadcast all_done;
+      Mutex.unlock t.mutex
+    in
+    (* Chunked queue: a few chunks per worker balances load without
+       per-item queue traffic. *)
+    let chunk_size = max 1 ((n + (t.size * 4) - 1) / (t.size * 4)) in
+    Mutex.lock t.mutex;
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + chunk_size) in
+      Queue.add (chunk !lo hi) t.work;
+      lo := hi
+    done;
+    Condition.broadcast t.wake;
+    (* The caller drains the queue too; it only sleeps when every
+       outstanding chunk is running in some other domain. *)
+    let rec drain () =
+      match Queue.take_opt t.work with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        drain ()
+      | None ->
+        if !remaining > 0 then begin
+          Condition.wait all_done t.mutex;
+          drain ()
+        end
+    in
+    drain ();
+    Mutex.unlock t.mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* remaining = 0 implies every slot filled *))
+         out)
+  end
+
+let reraise (e : task_error) =
+  (* surface the task's own backtrace; re-raising [e.exn] bare would
+     point at this frame instead *)
+  raise (Task_failed e)
+
+let map_exn t f xs =
+  List.map (function Ok y -> y | Error e -> reraise e) (map t f xs)
+
+let map_list ?jobs f xs =
+  match Jobs.resolve jobs with
+  | 1 -> serial_map f xs
+  | jobs -> with_ ~jobs (fun t -> map t f xs)
+
+let map_list_exn ?jobs f xs =
+  List.map (function Ok y -> y | Error e -> reraise e) (map_list ?jobs f xs)

@@ -1,0 +1,35 @@
+(* SplitMix64 (Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+   Generators", OOPSLA 2014): an additive counter stream through a
+   64-bit finalizer.  The finalizer is bijective and avalanching, so
+   keying the stream start by (seed, index) yields substreams that are
+   statistically independent for distinct indices — the property that
+   makes per-trial Monte-Carlo draws order- and schedule-invariant. *)
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Substream origin: the seed xor-folded with a mixed multiple of the
+   golden gamma — adjacent indices land in unrelated stream positions. *)
+let origin ~seed ~index =
+  Int64.logxor (Int64.of_int seed)
+    (mix (Int64.mul gamma (Int64.of_int index)))
+
+let draw ~seed ~index k =
+  mix (Int64.add (origin ~seed ~index) (Int64.mul gamma (Int64.of_int (k + 1))))
+
+let state ~seed ~index =
+  let word k =
+    (* keep the int positive on 64-bit; Random.State.make folds anyway *)
+    Int64.to_int (Int64.logand (draw ~seed ~index k) 0x3FFFFFFFFFFFFFFFL)
+  in
+  Random.State.make (Array.init 4 word)

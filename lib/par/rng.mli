@@ -1,0 +1,21 @@
+(** Counter-based RNG substreams (SplitMix64-keyed).
+
+    A single sequential [Random.State] stream makes parallel sampling
+    schedule-dependent: whichever worker draws first changes every later
+    draw.  Keying an independent substream by [(seed, index)] instead
+    makes the [index]-th sample a pure function of the seed — the same
+    value at 1 worker or 64, in any completion order.  This is the
+    determinism contract {!Dacmodel.Montecarlo} relies on
+    (docs/PARALLEL.md). *)
+
+(** [state ~seed ~index] is a fresh [Random.State.t] for substream
+    [index] of [seed].  Distinct [(seed, index)] pairs give statistically
+    independent streams; equal pairs give identical ones. *)
+val state : seed:int -> index:int -> Random.State.t
+
+(** [draw ~seed ~index k] is the [k]-th raw 64-bit output of the
+    substream — exposed for tests and for hashing-style uses. *)
+val draw : seed:int -> index:int -> int -> int64
+
+(** The SplitMix64 finalizer, exposed for tests. *)
+val mix : int64 -> int64

@@ -8,6 +8,8 @@ type t = {
   tech_name : string;
   tech_hash : string;
   repeat : int;
+  jobs : int;
+  par_speedup : float;
   stage_s : (string * float) list;
   place_route_s : float;
   f3db_mhz : float;
@@ -68,7 +70,8 @@ let tech_hash (tech : Tech.Process.t) =
     (Buffer.contents b);
   Printf.sprintf "%016Lx" !h
 
-let of_result ?(repeat = 1) (r : Ccdac.Flow.result) =
+let of_result ?(repeat = 1) ?(jobs = 1) ?(par_speedup = Float.nan)
+    (r : Ccdac.Flow.result) =
   let style = Ccplace.Style.name r.Ccdac.Flow.style in
   let p = r.Ccdac.Flow.parasitics in
   { schema_version;
@@ -78,6 +81,8 @@ let of_result ?(repeat = 1) (r : Ccdac.Flow.result) =
     tech_name = r.Ccdac.Flow.tech.Tech.Process.name;
     tech_hash = tech_hash r.Ccdac.Flow.tech;
     repeat;
+    jobs;
+    par_speedup;
     stage_s = r.Ccdac.Flow.telemetry.Telemetry.Summary.stages;
     place_route_s = r.Ccdac.Flow.elapsed_place_route_s;
     f3db_mhz = r.Ccdac.Flow.f3db_mhz;
@@ -105,6 +110,8 @@ let to_json t =
       ("tech_name", Json.Str t.tech_name);
       ("tech_hash", Json.Str t.tech_hash);
       ("repeat", Json.Num (float_of_int t.repeat));
+      ("jobs", Json.Num (float_of_int t.jobs));
+      ("par_speedup", Json.Num t.par_speedup);
       ( "stage_s",
         Json.Obj (List.map (fun (n, s) -> (n, Json.Num s)) t.stage_s) );
       ("place_route_s", Json.Num t.place_route_s);
@@ -161,6 +168,8 @@ let of_json j =
         tech_name = str "tech_name" "";
         tech_hash = str "tech_hash" "";
         repeat = max 1 (int "repeat" 1);
+        jobs = max 1 (int "jobs" 1);
+        par_speedup = num "par_speedup" Float.nan;
         stage_s;
         place_route_s = num "place_route_s" Float.nan;
         f3db_mhz = num "f3db_mhz" Float.nan;

@@ -17,6 +17,9 @@ type t = {
   tech_name : string;
   tech_hash : string;          (** {!tech_hash} of the process used *)
   repeat : int;                (** runs the timings are a median of *)
+  jobs : int;                  (** worker count the run was recorded at *)
+  par_speedup : float;         (** measured {!Ccdac.Parbench} speedup at
+                                   [jobs] ([nan] when not measured) *)
   stage_s : (string * float) list;  (** per-stage seconds, execution order *)
   place_route_s : float;       (** Table III runtime (place + route) *)
   f3db_mhz : float;
@@ -44,11 +47,14 @@ val label : style:string -> bits:int -> string
     hashes were measured under the same technology. *)
 val tech_hash : Tech.Process.t -> string
 
-(** [of_result ?repeat r] captures a record from a flow result, re-runs
-    the registry linter and LVS to collect the fired rule-id sets, and
-    stamps provenance.  [repeat] (default 1) documents how many runs the
-    timings were medianed over — it does not rerun anything. *)
-val of_result : ?repeat:int -> Ccdac.Flow.result -> t
+(** [of_result ?repeat ?jobs ?par_speedup r] captures a record from a
+    flow result, re-runs the registry linter and LVS to collect the fired
+    rule-id sets, and stamps provenance.  [repeat] (default 1) documents
+    how many runs the timings were medianed over; [jobs] (default 1) the
+    worker count; [par_speedup] (default [nan]) a measured
+    {!Ccdac.Parbench} speedup — none of them rerun anything. *)
+val of_result :
+  ?repeat:int -> ?jobs:int -> ?par_speedup:float -> Ccdac.Flow.result -> t
 
 val to_json : t -> Telemetry.Json.t
 

@@ -1,0 +1,10 @@
+type t = {
+  metrics : Metrics.scope_ctx;
+  spans : Span.ctx;
+}
+
+let capture () =
+  { metrics = Metrics.capture_scopes (); spans = Span.capture_context () }
+
+let with_ t f =
+  Metrics.with_scopes t.metrics (fun () -> Span.with_context t.spans f)

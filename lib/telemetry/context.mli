@@ -1,0 +1,23 @@
+(** Telemetry context propagation across domains.
+
+    Metric scopes, span collectors and the span nesting stack are all
+    domain-local, so a bare [Domain.spawn] starts with a clean slate:
+    its metric writes are no-ops and its spans reach only global sinks.
+    A worker pool that wants parallel tasks to record as if they ran in
+    the submitting domain captures the submitter's context once per
+    batch and installs it around every task — {!Par.Pool} does exactly
+    this, giving per-worker span attribution (each span still carries
+    its own [domain] id) while scoped collection keeps working.
+
+    Shared stores reached through a captured context are mutex-guarded;
+    concurrent writes from many workers are exact. *)
+
+type t
+
+(** [capture ()] snapshots the calling domain's active metric scopes,
+    span collectors and span stack. *)
+val capture : unit -> t
+
+(** [with_ t f] runs [f] with the captured context installed in the
+    calling domain, restoring the previous context afterwards. *)
+val with_ : t -> (unit -> 'a) -> 'a

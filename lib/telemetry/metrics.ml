@@ -1,4 +1,11 @@
-(* Cells are per-scope mutable accumulators keyed by (id, label). *)
+(* Cells are per-scope mutable accumulators keyed by (id, label).
+
+   Domain safety: the list of active scopes is domain-local (a raw
+   [Domain.spawn] starts with none; {!Context} propagates a submitter's
+   scopes into pool workers), while the stores themselves may be shared
+   across domains once captured — so every cell mutation and snapshot
+   happens under one global mutex.  The disabled fast path reads only the
+   domain-local list and takes no lock. *)
 
 type cell =
   | Ccell of { mutable count : int }
@@ -12,9 +19,29 @@ type cell =
 
 type store = (string * string option, cell) Hashtbl.t
 
-let scopes : store list ref = ref []
+let mutex = Mutex.create ()
 
-let enabled () = !scopes <> []
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+(* Active scopes of the calling domain, innermost first. *)
+let scopes_key : store list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let scopes () = Domain.DLS.get scopes_key
+
+let enabled () = !(scopes ()) <> []
+
+type scope_ctx = store list
+
+let capture_scopes () = !(scopes ())
+
+let with_scopes ctx f =
+  let r = scopes () in
+  let saved = !r in
+  r := ctx;
+  Fun.protect ~finally:(fun () -> r := saved) f
 
 let lookup id =
   match Registry.find id with
@@ -46,27 +73,27 @@ let cell_of store def label =
     Hashtbl.replace store key c;
     c
 
-let incr ?(n = 1) ?label id =
-  if enabled () then begin
+(* [record] runs [per_store] under the global mutex for every active
+   scope; kind errors are raised outside the lock by probing the
+   registry first. *)
+let record id per_store =
+  match !(scopes ()) with
+  | [] -> ()
+  | active ->
     let def = lookup id in
-    List.iter
-      (fun store ->
-         match cell_of store def label with
-         | Ccell c -> c.count <- c.count + n
-         | Gcell _ | Hcell _ -> kind_error id "counter" def)
-      !scopes
-  end
+    locked (fun () -> List.iter (fun store -> per_store store def) active)
+
+let incr ?(n = 1) ?label id =
+  record id (fun store def ->
+      match cell_of store def label with
+      | Ccell c -> c.count <- c.count + n
+      | Gcell _ | Hcell _ -> kind_error id "counter" def)
 
 let set ?label id v =
-  if enabled () then begin
-    let def = lookup id in
-    List.iter
-      (fun store ->
-         match cell_of store def label with
-         | Gcell c -> c.value <- v
-         | Ccell _ | Hcell _ -> kind_error id "gauge" def)
-      !scopes
-  end
+  record id (fun store def ->
+      match cell_of store def label with
+      | Gcell c -> c.value <- v
+      | Ccell _ | Hcell _ -> kind_error id "gauge" def)
 
 (* First bucket whose upper bound admits v (upper-inclusive edges);
    overflow bucket when v exceeds every bound. *)
@@ -76,19 +103,14 @@ let bucket_index bounds v =
   go 0
 
 let observe ?label id v =
-  if enabled () then begin
-    let def = lookup id in
-    List.iter
-      (fun store ->
-         match cell_of store def label with
-         | Hcell c ->
-           let i = bucket_index c.bounds v in
-           c.counts.(i) <- c.counts.(i) + 1;
-           c.sum <- c.sum +. v;
-           c.total <- c.total + 1
-         | Ccell _ | Gcell _ -> kind_error id "histogram" def)
-      !scopes
-  end
+  record id (fun store def ->
+      match cell_of store def label with
+      | Hcell c ->
+        let i = bucket_index c.bounds v in
+        c.counts.(i) <- c.counts.(i) + 1;
+        c.sum <- c.sum +. v;
+        c.total <- c.total + 1
+      | Ccell _ | Gcell _ -> kind_error id "histogram" def)
 
 (* --- dumps --- *)
 
@@ -151,12 +173,15 @@ let snapshot (store : store) : dump =
 
 let collect f =
   let store : store = Hashtbl.create 64 in
-  scopes := store :: !scopes;
+  let r = scopes () in
+  r := store :: !r;
   Fun.protect
-    ~finally:(fun () -> scopes := List.filter (fun s -> s != store) !scopes)
+    ~finally:(fun () -> r := List.filter (fun s -> s != store) !r)
     (fun () ->
        let x = f () in
-       (x, snapshot store))
+       (* the snapshot locks out writers still holding a captured
+          reference to this store (e.g. a pool worker draining) *)
+       (x, locked (fun () -> snapshot store)))
 
 let points dump = dump
 

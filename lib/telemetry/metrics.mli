@@ -14,9 +14,17 @@
 
     [label] selects the series within a metric whose cardinality is not
     1 (e.g. [~label:"C3"] for per-capacitor metrics); unlabelled and
-    labelled series of the same id are distinct. *)
+    labelled series of the same id are distinct.
 
-(** [enabled ()] is true when at least one scope is collecting. *)
+    {b Domain safety.}  The set of active scopes is {e domain-local}: a
+    freshly spawned domain records into nothing until a submitter's
+    scopes are propagated into it with {!Context} (which {!Par.Pool}
+    does automatically for every task).  Once shared, the stores
+    themselves are mutex-guarded, so concurrent increments from several
+    domains into one captured scope are exact. *)
+
+(** [enabled ()] is true when at least one scope is collecting in the
+    calling domain. *)
 val enabled : unit -> bool
 
 (** [incr ?n ?label id] adds [n] (default 1) to a counter. *)
@@ -55,6 +63,17 @@ val empty : dump
 (** [collect f] runs [f] with a fresh scope active and returns its result
     together with everything recorded. *)
 val collect : (unit -> 'a) -> 'a * dump
+
+(** {2 Cross-domain propagation} — used by {!Context}; prefer that. *)
+
+(** The calling domain's active scopes, as an opaque capture. *)
+type scope_ctx
+
+val capture_scopes : unit -> scope_ctx
+
+(** [with_scopes ctx f] runs [f] with the captured scopes installed as
+    the calling domain's active set (restored afterwards). *)
+val with_scopes : scope_ctx -> (unit -> 'a) -> 'a
 
 val points : dump -> point list
 

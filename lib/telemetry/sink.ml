@@ -27,7 +27,7 @@ let event_json (c : Span.complete) =
       ("ts", Json.Num (Clock.to_us c.Span.start_ns));
       ("dur", Json.Num (Clock.to_us c.Span.duration_ns));
       ("pid", Json.Num 1.);
-      ("tid", Json.Num 1.) ]
+      ("tid", Json.Num (float_of_int c.Span.domain)) ]
   in
   let args =
     match c.Span.attrs with
@@ -39,16 +39,17 @@ let event_json (c : Span.complete) =
   Json.Obj (base @ args)
 
 (* Metadata ("ph": "M") events so Perfetto labels the process and thread
-   rows: the process is the tool, the thread is the root span's name with
-   its attrs (e.g. ["flow.run style=spiral bits=8"]) — the attrs the flow
-   stamps on its root span become the track title. *)
+   rows: the process is the tool; the root span's domain gets the root's
+   name with its attrs (e.g. ["flow.run style=spiral bits=8"]) as its
+   track title, and every other domain — a pool worker — is labelled
+   ["worker <d>"] so parallel execution reads as parallel tracks. *)
 let metadata_events spans =
-  let meta name value =
+  let meta ?(tid = 1) name value =
     Json.Obj
       [ ("name", Json.Str name);
         ("ph", Json.Str "M");
         ("pid", Json.Num 1.);
-        ("tid", Json.Num 1.);
+        ("tid", Json.Num (float_of_int tid));
         ("args", Json.Obj [ ("name", Json.Str value) ]) ]
   in
   let root =
@@ -74,7 +75,20 @@ let metadata_events spans =
                  Format.asprintf "%s=%a" k Span.pp_value v)
               c.Span.attrs)
   in
-  [ meta "process_name" "ccdac"; meta "thread_name" thread_name ]
+  let root_domain =
+    match root with None -> 1 | Some c -> c.Span.domain
+  in
+  let domains =
+    List.sort_uniq Int.compare
+      (List.map (fun (c : Span.complete) -> c.Span.domain) spans)
+  in
+  meta "process_name" "ccdac"
+  :: List.map
+       (fun d ->
+          meta ~tid:d "thread_name"
+            (if d = root_domain then thread_name
+             else Printf.sprintf "worker %d" d))
+       domains
 
 let events_json spans =
   Json.Obj

@@ -12,29 +12,52 @@ type complete = {
   depth : int;
   parent : string option;
   seq : int;
+  domain : int;
 }
 
 type sink_id = int
 
-let sinks : (sink_id * (complete -> unit)) list ref = ref []
-let collectors : complete list ref list ref = ref []
-let stack : string list ref = ref []
-let next_seq = ref 0
-let next_sink = ref 0
+(* Domain safety mirrors Metrics: the nesting stack and the collector
+   list are domain-local (propagated into workers via {!Context});
+   sinks are process-global.  Delivery — sink callbacks plus appends to
+   possibly-shared collector buffers — is serialized by one mutex. *)
 
-let active () = !sinks <> [] || !collectors <> []
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let sinks : (sink_id * (complete -> unit)) list ref = ref []
+
+let collectors_key : complete list ref list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let collectors () = Domain.DLS.get collectors_key
+let stack () = Domain.DLS.get stack_key
+
+let next_seq = Atomic.make 0
+let next_sink = Atomic.make 0
+
+let active () = !sinks <> [] || !(collectors ()) <> []
 
 let deliver c =
-  List.iter (fun (_, k) -> k c) !sinks;
-  List.iter (fun buf -> buf := c :: !buf) !collectors
+  let bufs = !(collectors ()) in
+  locked (fun () ->
+      List.iter (fun (_, k) -> k c) !sinks;
+      List.iter (fun buf -> buf := c :: !buf) bufs)
 
 let with_ ?(attrs = []) ~name f =
   if not (active ()) then f ()
   else begin
+    let stack = stack () in
     let parent = match !stack with [] -> None | p :: _ -> Some p in
     let depth = List.length !stack in
-    let seq = !next_seq in
-    incr next_seq;
+    let seq = Atomic.fetch_and_add next_seq 1 in
+    let domain = (Domain.self () :> int) in
     stack := name :: !stack;
     let start_ns = Clock.now_ns () in
     Fun.protect
@@ -43,17 +66,17 @@ let with_ ?(attrs = []) ~name f =
         (match !stack with
          | _ :: rest -> stack := rest
          | [] -> ());
-        deliver { name; attrs; start_ns; duration_ns; depth; parent; seq })
+        deliver { name; attrs; start_ns; duration_ns; depth; parent; seq; domain })
       f
   end
 
 let add_sink k =
-  let id = !next_sink in
-  incr next_sink;
-  sinks := (id, k) :: !sinks;
+  let id = Atomic.fetch_and_add next_sink 1 in
+  locked (fun () -> sinks := (id, k) :: !sinks);
   id
 
-let remove_sink id = sinks := List.filter (fun (i, _) -> i <> id) !sinks
+let remove_sink id =
+  locked (fun () -> sinks := List.filter (fun (i, _) -> i <> id) !sinks)
 
 let with_sink k f =
   let id = add_sink k in
@@ -61,13 +84,38 @@ let with_sink k f =
 
 let collect f =
   let buf = ref [] in
-  collectors := buf :: !collectors;
+  let r = collectors () in
+  r := buf :: !r;
   let x =
     Fun.protect
-      ~finally:(fun () -> collectors := List.filter (fun b -> b != buf) !collectors)
+      ~finally:(fun () -> r := List.filter (fun b -> b != buf) !r)
       f
   in
-  (x, List.sort (fun a b -> Int.compare a.seq b.seq) !buf)
+  (* freeze under the lock: workers holding a captured reference may
+     still be delivering into [buf] *)
+  let spans = locked (fun () -> !buf) in
+  (x, List.sort (fun a b -> Int.compare a.seq b.seq) spans)
+
+(* --- cross-domain propagation (used by Context) --- *)
+
+type ctx = {
+  c_stack : string list;
+  c_collectors : complete list ref list;
+}
+
+let capture_context () =
+  { c_stack = !(stack ()); c_collectors = !(collectors ()) }
+
+let with_context ctx f =
+  let s = stack () and c = collectors () in
+  let saved_s = !s and saved_c = !c in
+  s := ctx.c_stack;
+  c := ctx.c_collectors;
+  Fun.protect
+    ~finally:(fun () ->
+      s := saved_s;
+      c := saved_c)
+    f
 
 let pp_value ppf = function
   | Str s -> Format.pp_print_string ppf s

@@ -10,7 +10,16 @@
     another is open records that parent's name and a one-deeper depth.
     [seq] is a process-global start-order sequence number, so sorting
     completed spans by [seq] (what {!collect} returns) reconstructs the
-    pre-order walk of the span tree. *)
+    pre-order walk of the span tree.
+
+    {b Domain safety.}  The nesting stack and the collector list are
+    domain-local; sinks are process-global and receive spans from every
+    domain (delivery is mutex-serialized).  Each completed span carries
+    the integer id of the domain that ran it ([domain]), which the
+    Chrome-trace sink renders as the thread id.  {!Context} propagates a
+    submitter's stack and collectors into pool workers, so spans opened
+    inside a parallel task keep their logical parent and still reach
+    collectors opened in the submitting domain. *)
 
 type value =
   | Str of string
@@ -26,6 +35,7 @@ type complete = {
   depth : int;           (** 0 = no enclosing span at entry *)
   parent : string option;
   seq : int;             (** global start order *)
+  domain : int;          (** id of the domain that ran the span *)
 }
 
 (** [with_ ?attrs ~name f] runs [f] inside a span.  The span completes —
@@ -48,9 +58,21 @@ val with_sink : (complete -> unit) -> (unit -> 'a) -> 'a
 
 (** {2 Collection} — in-memory capture, the basis of {!Summary}. *)
 
-(** [collect f] captures every span completed during [f], returned in
-    start ([seq]) order. *)
+(** [collect f] captures every span completed during [f] in the calling
+    domain — plus, through {!Context}, in any worker the context was
+    propagated to — returned in start ([seq]) order. *)
 val collect : (unit -> 'a) -> 'a * complete list
+
+(** {2 Cross-domain propagation} — used by {!Context}; prefer that. *)
+
+(** The calling domain's span stack and collectors, as an opaque capture. *)
+type ctx
+
+val capture_context : unit -> ctx
+
+(** [with_context ctx f] runs [f] with the captured stack and collectors
+    installed in the calling domain (restored afterwards). *)
+val with_context : ctx -> (unit -> 'a) -> 'a
 
 (** [pp_value] renders an attribute value. *)
 val pp_value : Format.formatter -> value -> unit

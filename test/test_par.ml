@@ -1,0 +1,269 @@
+(* Tests for the parallel execution subsystem: the domain pool's
+   ordering / fault-isolation / reentrancy contract, the counter-based
+   RNG substreams, and the bitwise-determinism guarantee of every ?jobs
+   entry point (Monte-Carlo, sweeps, sizing). *)
+
+let tech = Tech.Process.finfet_12nm
+
+(* --- Jobs resolution --- *)
+
+let test_jobs_resolution () =
+  Alcotest.(check int) "explicit wins" 3 (Par.Jobs.resolve (Some 3));
+  Alcotest.(check bool) "explicit clamps to 1" true
+    (Par.Jobs.resolve (Some (-2)) = 1);
+  Par.Jobs.set_default 5;
+  Alcotest.(check int) "set_default" 5 (Par.Jobs.default ());
+  Alcotest.(check int) "default feeds resolve" 5 (Par.Jobs.resolve None);
+  Par.Jobs.set_default 0;
+  Alcotest.(check bool) "0 means auto" true
+    (Par.Jobs.default () = Par.Jobs.auto () && Par.Jobs.auto () >= 1);
+  Par.Jobs.clear_default ();
+  (* after clearing, resolution falls back to CCDAC_JOBS or 1 — both >= 1 *)
+  Alcotest.(check bool) "cleared default >= 1" true (Par.Jobs.default () >= 1)
+
+(* --- Pool: ordering --- *)
+
+let test_pool_ordering () =
+  Par.Pool.with_ ~jobs:4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  (* uneven per-task work scrambles completion order; slots must not care *)
+  let f i =
+    let spin = (i * 7919) mod 97 in
+    let acc = ref 0 in
+    for k = 0 to spin * 50 do
+      acc := !acc + k
+    done;
+    ignore !acc;
+    i * i
+  in
+  Alcotest.(check (list int)) "submission order"
+    (List.map (fun i -> i * i) xs)
+    (Par.Pool.map_exn pool f xs);
+  Alcotest.(check (list int)) "pool is reusable" [ 0; 1; 4 ]
+    (Par.Pool.map_exn pool (fun i -> i * i) [ 0; 1; 2 ])
+
+let test_pool_matches_serial () =
+  let xs = List.init 57 (fun i -> i - 5) in
+  let f i = (i * 31) lxor 255 in
+  let serial = Par.Pool.map_list_exn ~jobs:1 f xs in
+  List.iter
+    (fun jobs ->
+       Alcotest.(check (list int))
+         (Printf.sprintf "jobs=%d" jobs)
+         serial
+         (Par.Pool.map_list_exn ~jobs f xs))
+    [ 2; 4; 8 ]
+
+(* --- Pool: fault isolation --- *)
+
+let test_pool_fault_isolation () =
+  Par.Pool.with_ ~jobs:4 @@ fun pool ->
+  let results =
+    Par.Pool.map pool
+      (fun i -> if i mod 3 = 0 then failwith (string_of_int i) else i)
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check int) "every slot filled" 10 (List.length results);
+  List.iteri
+    (fun i r ->
+       match r with
+       | Ok v ->
+         Alcotest.(check bool) "ok slot" true (i mod 3 <> 0 && v = i)
+       | Error e ->
+         Alcotest.(check bool) "error slot" true (i mod 3 = 0);
+         Alcotest.(check int) "error carries its index" i e.Par.Pool.index;
+         (match e.Par.Pool.exn with
+          | Failure msg -> Alcotest.(check string) "exn" (string_of_int i) msg
+          | _ -> Alcotest.fail "unexpected exception"))
+    results;
+  (* siblings of a failed task completed, and the pool survived *)
+  Alcotest.(check (list int)) "pool survives failures" [ 2; 4; 6 ]
+    (Par.Pool.map_exn pool (fun i -> 2 * i) [ 1; 2; 3 ])
+
+let test_pool_map_exn_raises () =
+  match
+    Par.Pool.map_list_exn ~jobs:2
+      (fun i -> if i = 7 then raise Exit else i)
+      (List.init 12 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Par.Pool.Task_failed e ->
+    Alcotest.(check int) "first failing index" 7 e.Par.Pool.index;
+    Alcotest.(check bool) "exn preserved" true (e.Par.Pool.exn = Exit)
+
+(* --- Pool: reentrancy (nested map on one pool must not deadlock) --- *)
+
+let test_pool_nested () =
+  Par.Pool.with_ ~jobs:2 @@ fun pool ->
+  let sums =
+    Par.Pool.map_exn pool
+      (fun i ->
+         List.fold_left ( + ) 0
+           (Par.Pool.map_exn pool (fun j -> (10 * i) + j) [ 0; 1; 2 ]))
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "nested maps" [ 33; 63; 93 ] sums
+
+(* --- Pool: telemetry inheritance + exact concurrent increments --- *)
+
+let test_pool_metrics_inheritance () =
+  let (), dump =
+    Telemetry.Metrics.collect (fun () ->
+        ignore
+          (Par.Pool.map_list_exn ~jobs:4
+             (fun _ -> Telemetry.Metrics.incr "flow/runs_total")
+             (List.init 1000 Fun.id)))
+  in
+  (* 4 domains hammering one mutex-guarded store: no lost updates *)
+  Alcotest.(check int) "exact count under contention" 1000
+    (Telemetry.Metrics.counter dump "flow/runs_total")
+
+let test_pool_span_inheritance () =
+  let (), spans =
+    Telemetry.Span.collect (fun () ->
+        ignore
+          (Par.Pool.map_list_exn ~jobs:3
+             (fun i ->
+                Telemetry.Span.with_ ~name:(Printf.sprintf "task%d" i)
+                  (fun () -> i))
+             [ 0; 1; 2; 3 ]))
+  in
+  let names = List.sort String.compare (List.map (fun s -> s.Telemetry.Span.name) spans) in
+  Alcotest.(check (list string)) "worker spans delivered to submitter"
+    [ "task0"; "task1"; "task2"; "task3" ] names
+
+(* --- RNG substreams --- *)
+
+let test_rng_substreams () =
+  let seq seed index n =
+    let st = Par.Rng.state ~seed ~index in
+    List.init n (fun _ -> Random.State.bits st)
+  in
+  Alcotest.(check (list int)) "pure function of (seed, index)"
+    (seq 42 7 16) (seq 42 7 16);
+  Alcotest.(check bool) "index separates streams" true
+    (seq 42 7 16 <> seq 42 8 16);
+  Alcotest.(check bool) "seed separates streams" true
+    (seq 42 7 16 <> seq 43 7 16);
+  Alcotest.(check bool) "draw is deterministic" true
+    (Par.Rng.draw ~seed:1 ~index:2 3 = Par.Rng.draw ~seed:1 ~index:2 3);
+  Alcotest.(check bool) "mix avalanches" true (Par.Rng.mix 1L <> 1L)
+
+(* --- Monte-Carlo: bitwise determinism across worker counts --- *)
+
+let spiral6 = Ccplace.Style.place ~bits:6 Ccplace.Style.Spiral
+
+let test_mc_bitwise_determinism () =
+  let run jobs = Dacmodel.Montecarlo.run tech ~seed:7 ~jobs ~trials:500 spiral6 in
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+       (* record equality is float equality field-by-field: bitwise *)
+       Alcotest.(check bool)
+         (Printf.sprintf "jobs=%d identical to serial" jobs)
+         true
+         (run jobs = reference))
+    [ 2; 4 ];
+  (* per-trial curves too, not just the aggregates *)
+  let curves jobs =
+    Dacmodel.Montecarlo.trial_curves tech ~seed:7 ~jobs ~trials:100 spiral6
+  in
+  Alcotest.(check bool) "trial curves identical" true (curves 1 = curves 4)
+
+let test_mc_seed_sensitivity () =
+  let run seed = Dacmodel.Montecarlo.run tech ~seed ~jobs:2 ~trials:100 spiral6 in
+  Alcotest.(check bool) "different seeds differ" true (run 1 <> run 2)
+
+(* --- percentile: ceiling nearest-rank convention --- *)
+
+let test_percentile_ceiling_rank () =
+  let a = Array.init 20 (fun i -> float_of_int (i + 1)) in
+  (* ceil(0.95 * 20) = 19 -> the 19th smallest.  The old floor rule
+     picked the 18th — the small-n bias this pins against. *)
+  Alcotest.(check (float 0.)) "p95 of 20" 19. (Dacmodel.Montecarlo.percentile a 0.95);
+  Alcotest.(check (float 0.)) "median of 20" 10. (Dacmodel.Montecarlo.percentile a 0.5);
+  Alcotest.(check (float 0.)) "q=1 is the max" 20. (Dacmodel.Montecarlo.percentile a 1.);
+  Alcotest.(check (float 0.)) "q=0 clamps to the min" 1.
+    (Dacmodel.Montecarlo.percentile a 0.);
+  let b = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 0.)) "p95 of 4" 4. (Dacmodel.Montecarlo.percentile b 0.95);
+  Alcotest.(check (float 0.)) "median of 4" 2. (Dacmodel.Montecarlo.percentile b 0.5);
+  Alcotest.(check (float 0.)) "empty" 0. (Dacmodel.Montecarlo.percentile [||] 0.95)
+
+(* --- Sweep: identical rows at any worker count --- *)
+
+let fingerprint (r : Ccdac.Flow.result) =
+  ( Ccplace.Style.name r.Ccdac.Flow.style,
+    ( r.Ccdac.Flow.f3db_mhz,
+      r.Ccdac.Flow.max_inl,
+      r.Ccdac.Flow.max_dnl,
+      r.Ccdac.Flow.area ) )
+
+let test_sweep_row_determinism () =
+  let row jobs = List.map fingerprint (Ccdac.Sweep.row ~tech ~jobs ~bits:4 ()) in
+  let reference = row 1 in
+  Alcotest.(check int) "four methods" 4 (List.length reference);
+  List.iter
+    (fun jobs ->
+       Alcotest.(check bool)
+         (Printf.sprintf "row jobs=%d identical" jobs)
+         true
+         (row jobs = reference))
+    [ 2; 4 ]
+
+(* --- Optimize: speculative walk preserves serial semantics --- *)
+
+let test_optimize_speculation () =
+  let shape (best, trace) =
+    ( Option.map (fun c -> c.Ccdac.Optimize.unit_cap_ff) best,
+      List.map
+        (fun c -> (c.Ccdac.Optimize.unit_cap_ff, c.Ccdac.Optimize.mc))
+        trace )
+  in
+  let candidates = [ 5.; 1.; 3. ] in
+  let walk ?bound ?target_yield jobs =
+    shape
+      (Ccdac.Optimize.minimum_unit_cap ~tech ?bound ?target_yield ~jobs
+         ~trials:50 ~bits:4 ~style:Ccplace.Style.Spiral candidates)
+  in
+  (* everything passes: the trace must stop at the first candidate even
+     though jobs=4 speculated past it *)
+  let first_passes = walk ~target_yield:0. 4 in
+  Alcotest.(check bool) "speculation discarded" true
+    (first_passes = walk ~target_yield:0. 1);
+  Alcotest.(check int) "trace truncated at winner" 1
+    (List.length (snd first_passes));
+  (* nothing passes: full trace, same in both modes *)
+  let exhausted jobs = walk ~bound:1e-12 ~target_yield:1.0 jobs in
+  let serial = exhausted 1 in
+  Alcotest.(check bool) "no winner" true (fst serial = None);
+  Alcotest.(check int) "full trace" 3 (List.length (snd serial));
+  Alcotest.(check bool) "exhausted walk identical" true (serial = exhausted 2)
+
+let () =
+  Alcotest.run "par"
+    [ ( "jobs",
+        [ Alcotest.test_case "resolution order" `Quick test_jobs_resolution ] );
+      ( "pool",
+        [ Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "matches serial" `Quick test_pool_matches_serial;
+          Alcotest.test_case "fault isolation" `Quick test_pool_fault_isolation;
+          Alcotest.test_case "map_exn raises first" `Quick
+            test_pool_map_exn_raises;
+          Alcotest.test_case "nested map" `Quick test_pool_nested;
+          Alcotest.test_case "metrics inheritance" `Quick
+            test_pool_metrics_inheritance;
+          Alcotest.test_case "span inheritance" `Quick
+            test_pool_span_inheritance ] );
+      ( "rng",
+        [ Alcotest.test_case "substreams" `Quick test_rng_substreams ] );
+      ( "determinism",
+        [ Alcotest.test_case "monte-carlo bitwise" `Quick
+            test_mc_bitwise_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_mc_seed_sensitivity;
+          Alcotest.test_case "sweep row" `Quick test_sweep_row_determinism;
+          Alcotest.test_case "optimize speculation" `Quick
+            test_optimize_speculation ] );
+      ( "percentile",
+        [ Alcotest.test_case "ceiling nearest-rank" `Quick
+            test_percentile_ceiling_rank ] ) ]
