@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint lvs bench profile qor doc clean examples
+.PHONY: all build test lint devlint lvs bench profile qor doc clean examples
 
 all: build
 
@@ -13,6 +13,12 @@ test:
 lint: build
 	dune runtest
 	dune exec bin/ccgen.exe -- lint --all
+
+# Source-level static analysis of the repo's own OCaml (docs/SRCLINT.md);
+# cclint.json is what CI uploads as an artifact.
+devlint: build
+	dune exec bin/cclint.exe -- --werror
+	dune exec bin/cclint.exe -- --json > cclint.json
 
 # Sweepline connectivity certification of every shipped configuration
 # (docs/VERIFY.md); lvs.json is what CI uploads as an artifact.

@@ -12,6 +12,7 @@
      ccgen diff    --baseline FILE         regression sentinel vs baseline
      ccgen history --ledger FILE           QoR trend from the ledger
      ccgen explain -b 8 -s spiral          per-element delay/INL attribution
+     ccgen devlint --werror                source-level static analysis (cclint)
 *)
 
 open Cmdliner
@@ -1036,6 +1037,11 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run $ bits_arg $ tech_arg $ jobs_arg)
 
+(* --- devlint: source-level static analysis (shared with bin/cclint) --- *)
+
+let devlint_cmd =
+  Cmd.v (Cmd.info "devlint" ~doc:Devlint_cli.doc) Devlint_cli.term
+
 let main =
   let doc =
     "constructive common-centroid placement and routing for binary-weighted \
@@ -1044,7 +1050,7 @@ let main =
   Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
     [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; profile_cmd;
       svg_cmd; mc_cmd; verify_cmd; lint_cmd; lvs_cmd; spectrum_cmd;
-      record_cmd; diff_cmd; history_cmd; explain_cmd ]
+      record_cmd; diff_cmd; history_cmd; explain_cmd; devlint_cmd ]
 
 (* The verification and LVS gates raise [Verify.Engine.Rejected] on a
    defective layout; turn that into a report and a nonzero exit instead of

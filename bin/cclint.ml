@@ -1,0 +1,14 @@
+(* cclint: standalone entry point for the source-level static analyzer.
+
+     cclint --werror              gate the whole tree (CI)
+     cclint --json > cclint.json  machine-readable report
+     cclint --rules det,domain    one or two rule families only
+     cclint --list-rules          the rule catalogue
+
+   [ccgen devlint] is the same tool behind the main CLI. *)
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "cclint" ~version:"1.6.0" ~doc:Devlint_cli.doc
+  in
+  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.v info Devlint_cli.term))

@@ -51,8 +51,11 @@ let spiral_order ~rows ~cols =
     done
   done;
   let key = spiral_key ~rows ~cols in
-  List.stable_sort
-    (fun a b -> Stdlib.compare (key a) (key b))
-    !cells
+  let compare_key (ring_a, angle_a) (ring_b, angle_b) =
+    match Int.compare ring_a ring_b with
+    | 0 -> Float.compare angle_a angle_b
+    | c -> c
+  in
+  List.stable_sort (fun a b -> compare_key (key a) (key b)) !cells
 
 let pp ppf c = Format.fprintf ppf "(%d, %d)" c.row c.col

@@ -54,7 +54,7 @@ let place ~bits ?core_bits ?granularity () =
   let core_list =
     let key c = (Chessboard.rank ~rows ~cols c, c.Cell.row, c.Cell.col) in
     List.stable_sort
-      (fun a b -> Stdlib.compare (key a) (key b))
+      (fun a b -> Chessboard.compare_rank_key (key a) (key b))
       (Cellset.elements core)
   in
   for k = core_bits downto 2 do
@@ -98,7 +98,7 @@ let place ~bits ?core_bits ?granularity () =
      | Some (_, id) when !block_left >= 2 && cells_left id >= 2 -> ()
      | Some _ | None -> pick_next ());
     match !current with
-    | None -> assert false
+    | None -> failwith "Block_chess.place: pick_next left no current block"
     | Some (i, id) ->
       if id = Placement.dummy then begin
         Builder.assign_dummy_pair b c;

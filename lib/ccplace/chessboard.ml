@@ -20,6 +20,15 @@ let rec frac ~rows ~cols i j =
 
 let rank ~rows ~cols (c : Cell.t) = frac ~rows ~cols c.Cell.row c.Cell.col
 
+let compare_rank_key (ra, ia, ja) (rb, ib, jb) =
+  match Float.compare ra rb with
+  | 0 -> begin
+      match Int.compare ia ib with
+      | 0 -> Int.compare ja jb
+      | c -> c
+    end
+  | c -> c
+
 let sorted_cells ~rows ~cols =
   let cells = ref [] in
   for row = rows - 1 downto 0 do
@@ -28,7 +37,7 @@ let sorted_cells ~rows ~cols =
     done
   done;
   let key c = (rank ~rows ~cols c, c.Cell.row, c.Cell.col) in
-  List.stable_sort (fun a b -> Stdlib.compare (key a) (key b)) !cells
+  List.stable_sort (fun a b -> compare_rank_key (key a) (key b)) !cells
 
 let place ~bits =
   Weights.check_bits bits;

@@ -20,3 +20,9 @@ val place : bits:int -> Placement.t
     cells with rank < 1/2 form one chessboard colour, the next quarter an
     alternating half of the other colour, etc.  Exposed for tests. *)
 val rank : rows:int -> cols:int -> Cell.t -> float
+
+(** [compare_rank_key (rank, row, col) ...] — rank first ({!Float.compare},
+    so the sort is typed rather than polymorphic), then row-major position
+    to break ties deterministically.  Shared with {!Block_chess}, which
+    sorts its inner core by the same key. *)
+val compare_rank_key : float * int * int -> float * int * int -> int

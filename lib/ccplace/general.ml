@@ -64,6 +64,23 @@ let build ~counts ~style_name ~walk_of =
   let sequence = walk_of ~bits ~counts items in
   (b, rows, cols, sequence, style_name)
 
+(* Typed item order matching the runtime representation Stdlib.compare
+   used here historically: the constant constructor first, then blocks in
+   declaration order — placements are pinned, so the order must not move. *)
+let compare_item (a : item) (b : item) =
+  match (a, b) with
+  | Dummy_pair, Dummy_pair -> 0
+  | Dummy_pair, _ -> -1
+  | _, Dummy_pair -> 1
+  | Pair x, Pair y -> Int.compare x y
+  | Pair _, Split _ -> -1
+  | Split _, Pair _ -> 1
+  | Split (a1, m1), Split (a2, m2) -> begin
+      match Int.compare a1 a2 with
+      | 0 -> Int.compare m1 m2
+      | c -> c
+    end
+
 let assign_item b item c =
   match item with
   | Pair k -> Builder.assign_pair b c k
@@ -95,7 +112,7 @@ let interleave_items ~bits ~counts items =
     List.sort
       (fun a b ->
          match Int.compare (List.length b) (List.length a) with
-         | 0 -> Stdlib.compare a b
+         | 0 -> List.compare compare_item a b
          | c -> c)
       tagged
   in
@@ -127,7 +144,10 @@ let clustered_items ~bits ~counts items =
     | Pair k -> (1, k)
     | Dummy_pair -> (2, max_int)
   in
-  List.stable_sort (fun a b -> Stdlib.compare (rank a) (rank b)) items
+  let compare_rank (ta, ka) (tb, kb) =
+    match Int.compare ta tb with 0 -> Int.compare ka kb | c -> c
+  in
+  List.stable_sort (fun a b -> compare_rank (rank a) (rank b)) items
 
 let place ~counts ~style_name ~walk_of ~order_of =
   let b, rows, cols, sequence, style_name =

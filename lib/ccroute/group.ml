@@ -58,7 +58,10 @@ let make_group ~cap ~id cells tree_edges =
 let runs_along ~major ~minor cells =
   let sorted =
     List.sort
-      (fun a b -> Stdlib.compare (major a, minor a) (major b, minor b))
+      (fun a b ->
+         match Int.compare (major a) (major b) with
+         | 0 -> Int.compare (minor a) (minor b)
+         | c -> c)
       cells
   in
   let finish run acc = if run = [] then acc else List.rev run :: acc in

@@ -175,11 +175,13 @@ let make (placement : Placement.t) groups =
                     g.Group.cells
                   |> List.sort
                        (fun (a : Cell.t) (b : Cell.t) ->
-                          compare
-                            (abs (a.Cell.row - original.Cell.row),
-                             a.Cell.row, a.Cell.col)
-                            (abs (b.Cell.row - original.Cell.row),
-                             b.Cell.row, b.Cell.col))
+                          match
+                            Int.compare
+                              (abs (a.Cell.row - original.Cell.row))
+                              (abs (b.Cell.row - original.Cell.row))
+                          with
+                          | 0 -> Cell.compare a b
+                          | c -> c)
                 in
                 let rec try_cells = function
                   | [] -> attach := original

@@ -132,7 +132,8 @@ let analyze tech ?theta ?profile ?(sign_mode = Paper) ?(top_parasitic = 0.)
     let inl, dnl =
       match inls, dnls with
       | i :: _, d :: _ -> (i, d)
-      | [], _ | _, [] -> assert false
+      | [], _ | _, [] ->
+        failwith "Nonlinearity: worst-case combo list is empty"
     in
     { inl; dnl; max_abs_inl = worst inls; max_abs_dnl = worst dnls; sigma_t }
 

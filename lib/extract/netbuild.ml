@@ -95,7 +95,7 @@ let build (layout : Layout.t) ~cap =
   let build_trunk (tk : Layout.trunk) =
     let events =
       let attach_ys = List.map (fun a -> a.Layout.ap_y) tk.Layout.tk_attaches in
-      List.sort_uniq compare (tk.Layout.tk_y_low :: attach_ys)
+      List.sort_uniq Float.compare (tk.Layout.tk_y_low :: attach_ys)
     in
     let mk y =
       let n =

@@ -82,12 +82,16 @@ let create ~jobs =
       stop = false;
       workers = [] }
   in
-  (* degrade gracefully: keep whatever spawned before the limit hit *)
+  (* Degrade gracefully: keep whatever spawned before the limit hit.
+     [Domain.spawn] signals domain exhaustion as [Failure]; that one case
+     is deliberately absorbed (the pool serves with fewer workers, down to
+     fully serial in the caller).  Anything else is a real fault and
+     propagates. *)
   (try
      for _ = 2 to jobs do
        t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
      done
-   with _ -> ());
+   with Failure _ -> ());
   t
 
 let shutdown t =
@@ -165,7 +169,9 @@ let map t f xs =
       (Array.map
          (function
            | Some r -> r
-           | None -> assert false (* remaining = 0 implies every slot filled *))
+           | None ->
+             (* remaining = 0 implies every slot filled *)
+             failwith "Par.Pool.map: result slot left unfilled")
          out)
   end
 

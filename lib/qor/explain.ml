@@ -44,7 +44,7 @@ let of_result (r : Ccdac.Flow.result) =
     Extract.Netbuild.build r.Ccdac.Flow.layout ~cap:r.Ccdac.Flow.critical_bit
   in
   let worst_cell, delay_total_fs, parts = Extract.Netbuild.attribution net in
-  let share total x = if total = 0. then 0. else x /. total in
+  let share total x = if Float.equal total 0. then 0. else x /. total in
   let delay_elements =
     List.map
       (fun (c : Extract.Netbuild.contribution) ->

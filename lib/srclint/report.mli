@@ -1,0 +1,41 @@
+(** Renderers for one {!Engine.result}: a pretty text form for terminals
+    and a stable machine-readable JSON form for CI artifacts.  Both render
+    diagnostics in {!Diagnostic.compare} order (errors first), so output
+    is deterministic regardless of scan order. *)
+
+(** [pp_text ppf result] prints one line per finding followed by a summary
+    line ("source tree clean" or counts, plus suppression count). *)
+val pp_text : Format.formatter -> Engine.result -> unit
+
+(** [text result] is {!pp_text} to a string. *)
+val text : Engine.result -> string
+
+(** [summary_line result] is just the final counts line. *)
+val summary_line : Engine.result -> string
+
+(** [json_escape s] escapes [s] for embedding in a JSON string literal. *)
+val json_escape : string -> string
+
+(** [json result] is a self-contained JSON object:
+
+    {v
+    {"version": 1, "tool": "cclint",
+     "summary": {"errors": 0, "warnings": 0, "infos": 0, "total": 0,
+                 "suppressed": 2, "files_scanned": 123},
+     "diagnostics": [
+       {"rule": "det/wall-clock", "category": "determinism",
+        "severity": "error", "file": "lib/x.ml", "line": 7, "col": 2,
+        "detail": "..."}],
+     "suppressions": [
+       {"rule": "det/wall-clock", "path": "lib/qor/provenance.ml",
+        "line": 3, "matched": 1, "justification": "..."}]}
+    v}
+*)
+val json : Engine.result -> string
+
+(** [json_rules ()] renders the whole {!Registry} catalogue as JSON
+    (id, category, severity, doc per rule). *)
+val json_rules : unit -> string
+
+(** [pp_rules ppf ()] renders the catalogue as text, one rule per line. *)
+val pp_rules : Format.formatter -> unit -> unit

@@ -148,7 +148,9 @@ let snapshot (store : store) : dump =
          let metric =
            match Registry.find id with
            | Some def -> def
-           | None -> assert false (* enforced at write time *)
+           | None ->
+             (* registration is enforced at write time *)
+             failwith ("Telemetry.Metrics.snapshot: unregistered id " ^ id)
          in
          let value =
            match cell with

@@ -15,7 +15,7 @@ let compare a b =
   | 0 -> begin
       match String.compare a.rule.Rule.id b.rule.Rule.id with
       | 0 -> begin
-          match Stdlib.compare a.loc b.loc with
+          match Option.compare String.compare a.loc b.loc with
           | 0 -> String.compare a.detail b.detail
           | c -> c
         end

@@ -126,7 +126,19 @@ let check_coverage (p : Placement.t) (emit : emitter) =
          (Printf.sprintf
             "%d cell(s) hold invalid id %d (valid: dummy %d or 0..%d)" count
             id dummy p.Placement.bits))
-    (List.sort compare
+    (List.sort
+       (fun (id_a, (n_a, (r_a, c_a))) (id_b, (n_b, (r_b, c_b))) ->
+          match Int.compare id_a id_b with
+          | 0 -> begin
+              match Int.compare n_a n_b with
+              | 0 -> begin
+                  match Int.compare r_a r_b with
+                  | 0 -> Int.compare c_a c_b
+                  | c -> c
+                end
+              | c -> c
+            end
+          | c -> c)
        (Hashtbl.fold (fun id v acc -> (id, v) :: acc) seen []))
 
 let occupancy (p : Placement.t) =
