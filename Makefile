@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint devlint lvs bench profile qor doc clean examples
+.PHONY: all build test lint devlint lvs bench profile memprofile qor doc clean examples
 
 all: build
 
@@ -37,6 +37,13 @@ bench:
 profile: build
 	dune exec bin/ccgen.exe -- profile --bits 6,8
 	dune exec bin/ccgen.exe -- profile --bits 6,8 --json > profile.json
+
+# The same matrix with Telemetry.Memory sampling on: per-stage
+# allocation/GC deltas (docs/TELEMETRY.md); profile_mem.json is what CI
+# uploads as an artifact.
+memprofile: build
+	dune exec bin/ccgen.exe -- profile --bits 6,8 --mem
+	dune exec bin/ccgen.exe -- profile --bits 6,8 --mem --json > profile_mem.json
 
 # QoR regression sentinel (docs/QOR.md): record the default matrix to
 # the ledger, then diff the ledger's latest records against the

@@ -147,6 +147,33 @@ let bench_flow_overhead () =
       ("recorded_s", Num recorded);
       ("ratio", Num (recorded /. idle)) ]
 
+(* Memory probe for BENCH_flow.json: one 8-bit spiral flow with GC
+   sampling on (docs/TELEMETRY.md).  Single run, not a median —
+   allocation totals are near-deterministic, unlike wall clocks. *)
+let bench_flow_memory () =
+  let bits = 8 in
+  let r =
+    Telemetry.Memory.with_enabled true (fun () ->
+        Ccdac.Flow.run ~tech ~bits Ccplace.Style.Spiral)
+  in
+  let t = r.Ccdac.Flow.telemetry in
+  let open Telemetry.Json in
+  match Telemetry.Summary.total_memory t with
+  | None -> Null
+  | Some d ->
+    Obj
+      [ ("style", Str "spiral");
+        ("bits", Num (float_of_int bits));
+        ( "stages_alloc_mb",
+          Obj
+            (List.map
+               (fun (n, d) -> (n, Num (Telemetry.Memory.allocated_mb d)))
+               (Telemetry.Summary.memory_stages t)) );
+        ("alloc_mb_total", Num (Telemetry.Memory.allocated_mb d));
+        ("peak_heap_mb", Num (Telemetry.Memory.peak_heap_mb d));
+        ( "major_collections",
+          Num (float_of_int d.Telemetry.Memory.major_collections) ) ]
+
 (* Measured Monte-Carlo speedup at the session's job count (CCDAC_JOBS;
    ~1.0 when serial).  One probe per document — the value is a property
    of the machine and the pool, not of a (style, bits) cell. *)
@@ -186,7 +213,8 @@ let benchflow () =
         ("repeat", Num 5.);
         ("parallel", parallel);
         ("runs", Arr runs);
-        ("null_sink_overhead", bench_flow_overhead ()) ]
+        ("null_sink_overhead", bench_flow_overhead ());
+        ("memory", bench_flow_memory ()) ]
   in
   (try
      let oc = open_out path in
@@ -205,7 +233,11 @@ let baseline () =
   let path = out_path "BENCH_baseline.json" in
   banner path;
   let bits_list = [ 6; 8 ] and repeat = 3 in
+  (* GC sampling on, so the committed baseline carries the memory fields
+     the qor/alloc_mb_total, qor/peak_heap_mb and qor/major_collections
+     policies judge (records diffed without --mem skip those metrics) *)
   let records =
+    Telemetry.Memory.with_enabled true @@ fun () ->
     List.concat_map
       (fun bits ->
          List.map
@@ -221,6 +253,67 @@ let baseline () =
   (try Qor.Baseline.save ~path records
    with Sys_error e -> write_failed path e);
   Printf.printf "wrote %s (%d records)\n" path (List.length records)
+
+(* --- memscale: the ROADMAP item-2 scaling probe.  Run the full flow at
+   10 and 12 bits (1k vs 4k unit cells — a 4x cell-count step) with GC
+   sampling on, append both QoR records to the ledger, and report which
+   stages' allocation grows faster than the cell count (docs/TELEMETRY.md
+   documents the findings: those stages are the refactor targets). *)
+
+let memscale_bits = (10, 12)
+
+let memscale () =
+  let path = out_path "qor_ledger.jsonl" in
+  let lo, hi = memscale_bits in
+  banner (Printf.sprintf "memscale: spiral flow at %d vs %d bits" lo hi);
+  let probe bits =
+    Telemetry.Memory.with_enabled true (fun () ->
+        Qor.Record.of_result (Ccdac.Flow.run ~tech ~bits Ccplace.Style.Spiral))
+  in
+  let r_lo = probe lo and r_hi = probe hi in
+  (try
+     Qor.Ledger.append ~path r_lo;
+     Qor.Ledger.append ~path r_hi
+   with Sys_error e -> write_failed path e);
+  (* cell count grows 2^(hi-lo): the super-linearity threshold *)
+  let cells_ratio = float_of_int (1 lsl (hi - lo)) in
+  Printf.printf "%-10s %12s %12s %8s %12s %12s %8s\n" "stage"
+    (Printf.sprintf "b%d MB" lo)
+    (Printf.sprintf "b%d MB" hi)
+    "xMB"
+    (Printf.sprintf "b%d ms" lo)
+    (Printf.sprintf "b%d ms" hi)
+    "xT";
+  List.iter
+    (fun (stage, mb_lo) ->
+       let mb_hi =
+         Option.value ~default:Float.nan
+           (List.assoc_opt stage r_hi.Qor.Record.stage_alloc_mb)
+       in
+       let s_lo =
+         Option.value ~default:Float.nan
+           (List.assoc_opt stage r_lo.Qor.Record.stage_s)
+       in
+       let s_hi =
+         Option.value ~default:Float.nan
+           (List.assoc_opt stage r_hi.Qor.Record.stage_s)
+       in
+       let ratio = mb_hi /. Float.max mb_lo 1e-9 in
+       Printf.printf "%-10s %12.2f %12.2f %7.1fx %12.2f %12.2f %7.1fx%s\n"
+         stage mb_lo mb_hi ratio (1e3 *. s_lo) (1e3 *. s_hi)
+         (s_hi /. Float.max s_lo 1e-9)
+         (if ratio > cells_ratio then "  <- super-linear" else ""))
+    r_lo.Qor.Record.stage_alloc_mb;
+  Printf.printf
+    "total: %.2f -> %.2f MB (%.1fx for a %.0fx cell count); peak heap %.2f \
+     -> %.2f MB; majors %d -> %d\n"
+    r_lo.Qor.Record.alloc_mb_total r_hi.Qor.Record.alloc_mb_total
+    (r_hi.Qor.Record.alloc_mb_total
+     /. Float.max r_lo.Qor.Record.alloc_mb_total 1e-9)
+    cells_ratio r_lo.Qor.Record.peak_heap_mb r_hi.Qor.Record.peak_heap_mb
+    r_lo.Qor.Record.major_collections r_hi.Qor.Record.major_collections;
+  Printf.printf "appended %s and %s to %s\n" r_lo.Qor.Record.label
+    r_hi.Qor.Record.label path
 
 let bench () =
   banner "Bechamel: constructive P&R kernels (ns/run)";
@@ -494,9 +587,9 @@ let artefacts =
     ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6a", fig6a); ("fig6b", fig6b); ("ablation", ablation);
     ("bench", bench); ("benchflow", benchflow); ("baseline", baseline);
-    ("csv", csv) ]
+    ("memscale", memscale); ("csv", csv) ]
 
-let out_writers = [ "benchflow"; "baseline" ]
+let out_writers = [ "benchflow"; "baseline"; "memscale" ]
 
 let () =
   let rec parse names = function

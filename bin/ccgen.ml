@@ -634,9 +634,33 @@ let profile_cmd =
     let doc = "Emit the machine-readable profile document (docs/BENCH.md)." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let mem_arg =
+    let doc =
+      "Sample GC statistics around every stage (docs/TELEMETRY.md): per-stage \
+       allocated MB, peak heap MB and major collections, in the table and in \
+       the JSON document's per-run memory object."
+    in
+    Arg.(value & flag & info [ "mem" ] ~doc)
+  in
   let stage_names = [ "place"; "route"; "verify"; "lvs"; "extract"; "analyse" ] in
   let stage_s (r : Ccdac.Flow.result) name =
     Option.value ~default:0. (Telemetry.Summary.stage_seconds r.telemetry name)
+  in
+  let stage_mb (r : Ccdac.Flow.result) name =
+    Option.value ~default:0. (Telemetry.Summary.stage_alloc_mb r.telemetry name)
+  in
+  let memory_json (r : Ccdac.Flow.result) =
+    let open Telemetry.Json in
+    match Telemetry.Summary.total_memory r.telemetry with
+    | None -> Null
+    | Some d ->
+      Obj
+        [ ( "stages_alloc_mb",
+            Obj (List.map (fun n -> (n, Num (stage_mb r n))) stage_names) );
+          ("alloc_mb_total", Num (Telemetry.Memory.allocated_mb d));
+          ("peak_heap_mb", Num (Telemetry.Memory.peak_heap_mb d));
+          ( "major_collections",
+            Num (float_of_int d.Telemetry.Memory.major_collections) ) ]
   in
   let median_run runs =
     let sorted =
@@ -663,9 +687,10 @@ let profile_cmd =
           Num (float_of_int r.parasitics.Extract.Parasitics.total_via_cuts) );
         ("bends", Num (float_of_int r.parasitics.Extract.Parasitics.total_bends));
         ("wirelength_um", Num r.parasitics.Extract.Parasitics.total_wirelength);
-        ("area_um2", Num r.area) ]
+        ("area_um2", Num r.area);
+        ("memory", memory_json r) ]
   in
-  let run bits_list styles granularity tech repeat json verbose trace
+  let run bits_list styles granularity tech repeat json mem verbose trace
       metrics_fmt jobs =
     setup_logs verbose;
     apply_jobs jobs;
@@ -675,6 +700,7 @@ let profile_cmd =
     end;
     List.iter check_bits bits_list;
     let medians, dump =
+      Telemetry.Memory.with_enabled mem @@ fun () ->
       Telemetry.Metrics.collect @@ fun () ->
       with_trace trace @@ fun () ->
       Telemetry.Span.with_ ~name:"profile" @@ fun () ->
@@ -716,6 +742,28 @@ let profile_cmd =
         medians;
       Printf.printf "(%d run(s) per configuration; median by place+route)\n"
         repeat;
+      if mem then begin
+        Printf.printf "\nmemory (allocated MB per stage; median runs):\n";
+        Printf.printf
+          "%-18s %4s  %9s %9s %9s %9s %9s %9s  %9s %8s %6s\n" "style" "bits"
+          "place" "route" "verify" "lvs" "extract" "analyse" "total MB"
+          "peak MB" "majors";
+        List.iter
+          (fun (r : Ccdac.Flow.result) ->
+             match Telemetry.Summary.total_memory r.telemetry with
+             | None -> ()
+             | Some d ->
+               Printf.printf
+                 "%-18s %4d  %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f  %9.2f \
+                  %8.2f %6d\n"
+                 (Ccplace.Style.name r.style) r.bits (stage_mb r "place")
+                 (stage_mb r "route") (stage_mb r "verify") (stage_mb r "lvs")
+                 (stage_mb r "extract") (stage_mb r "analyse")
+                 (Telemetry.Memory.allocated_mb d)
+                 (Telemetry.Memory.peak_heap_mb d)
+                 d.Telemetry.Memory.major_collections)
+          medians
+      end;
       let dists =
         List.filter
           (fun (p : Telemetry.Metrics.point) ->
@@ -733,8 +781,9 @@ let profile_cmd =
                | Some v -> Printf.sprintf "%g" v
                | None -> "-"
              in
-             Printf.printf "  %-28s p50=%s p95=%s\n"
-               p.Telemetry.Metrics.metric.Telemetry.Metric.id (q 0.5) (q 0.95))
+             Printf.printf "  %-28s p50=%s p95=%s p99=%s\n"
+               p.Telemetry.Metrics.metric.Telemetry.Metric.id (q 0.5) (q 0.95)
+               (q 0.99))
           dists
       end;
       print_metrics metrics_fmt dump
@@ -742,12 +791,13 @@ let profile_cmd =
   in
   let doc =
     "Profile the flow over a (style, bits) matrix: per-stage wall time and \
-     layout metrics, with optional Chrome trace and metrics dump."
+     layout metrics, with optional GC sampling ($(b,--mem)), Chrome trace \
+     and metrics dump."
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bits_list_arg $ styles_arg $ gran_arg $ tech_arg
-          $ repeat_arg $ json_arg $ verbose_arg $ trace_arg $ metrics_arg
-          $ jobs_arg)
+          $ repeat_arg $ json_arg $ mem_arg $ verbose_arg $ trace_arg
+          $ metrics_arg $ jobs_arg)
 
 (* --- qor: record / diff / history / explain --- *)
 
@@ -801,8 +851,17 @@ let qor_repeat_arg =
   in
   Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"R" ~doc)
 
+let qor_mem_arg =
+  let doc =
+    "Sample GC statistics during the runs so the records carry the \
+     alloc_mb_total / peak_heap_mb / major_collections fields the memory \
+     tolerance policies judge (docs/QOR.md)."
+  in
+  Arg.(value & flag & info [ "mem" ] ~doc)
+
 let record_cmd =
-  let run bits_list styles granularity tech repeat ledger json verbose jobs =
+  let run bits_list styles granularity tech repeat ledger json mem verbose jobs
+      =
     setup_logs verbose;
     apply_jobs jobs;
     if repeat < 1 then begin
@@ -818,6 +877,7 @@ let record_cmd =
       else (Ccdac.Parbench.mc_speedup ~tech ~jobs:jobs_n ()).Ccdac.Parbench.speedup
     in
     let records, _ =
+      Telemetry.Memory.with_enabled mem @@ fun () ->
       Telemetry.Metrics.collect @@ fun () ->
       Telemetry.Span.with_ ~name:"qor.record" @@ fun () ->
       let records =
@@ -853,8 +913,8 @@ let record_cmd =
   in
   Cmd.v (Cmd.info "record" ~doc)
     Term.(const run $ qor_bits_list_arg $ qor_styles_arg $ gran_arg $ tech_arg
-          $ qor_repeat_arg $ ledger_arg $ qor_json_arg $ verbose_arg
-          $ jobs_arg)
+          $ qor_repeat_arg $ ledger_arg $ qor_json_arg $ qor_mem_arg
+          $ verbose_arg $ jobs_arg)
 
 let baseline_arg =
   let doc = "Baseline document to diff against (BENCH_baseline.json)." in
@@ -874,7 +934,7 @@ let diff_cmd =
     Arg.(value & flag & info [ "werror" ] ~doc)
   in
   let run bits_list styles granularity tech repeat ledger from_ledger baseline
-      json werror verbose =
+      json mem werror verbose =
     setup_logs verbose;
     List.iter check_bits bits_list;
     let baseline_records =
@@ -895,6 +955,7 @@ let diff_cmd =
           exit 2
       end
       else
+        Telemetry.Memory.with_enabled mem @@ fun () ->
         Telemetry.Span.with_ ~name:"qor.diff" @@ fun () ->
         qor_matrix ~tech ~granularity ~repeat bits_list styles
     in
@@ -923,7 +984,7 @@ let diff_cmd =
   Cmd.v (Cmd.info "diff" ~doc)
     Term.(const run $ qor_bits_list_arg $ qor_styles_arg $ gran_arg $ tech_arg
           $ qor_repeat_arg $ ledger_arg $ from_ledger_arg $ baseline_arg
-          $ qor_json_arg $ werror_arg $ verbose_arg)
+          $ qor_json_arg $ qor_mem_arg $ werror_arg $ verbose_arg)
 
 let history_cmd =
   let last_arg =

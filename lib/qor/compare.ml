@@ -32,6 +32,19 @@ let observe (p : Policy.t) (r : Record.t) =
   | "qor/wirelength_um" -> Some (Policy.Scalar r.Record.wirelength_um)
   | "qor/area_um2" -> Some (Policy.Scalar r.Record.area_um2)
   | "qor/place_route_s" -> Some (Policy.Scalar r.Record.place_route_s)
+  (* The memory metrics exist only in records captured with
+     Telemetry.Memory sampling on; a record without them (alloc = nan)
+     observes None, so mixed old/new comparisons skip the metric instead
+     of failing Incomparable. *)
+  | "qor/alloc_mb_total" ->
+    if Float.is_nan r.Record.alloc_mb_total then None
+    else Some (Policy.Scalar r.Record.alloc_mb_total)
+  | "qor/peak_heap_mb" ->
+    if Float.is_nan r.Record.peak_heap_mb then None
+    else Some (Policy.Scalar r.Record.peak_heap_mb)
+  | "qor/major_collections" ->
+    if Float.is_nan r.Record.alloc_mb_total then None
+    else Some (Policy.Scalar (float_of_int r.Record.major_collections))
   | "qor/verify_rules" -> Some (Policy.Set r.Record.verify_rules)
   | "qor/lvs_rules" -> Some (Policy.Set r.Record.lvs_rules)
   | "qor/tech_hash" -> Some (Policy.Set [ r.Record.tech_hash ])

@@ -177,6 +177,30 @@ let catalogue =
       kind = Rel { tol = 0.5; floor = 0.05; repeat_aware = true };
       sense = Lower_better;
       severity = Verify.Rule.Warning };
+    (* Allocation totals are near-deterministic (same code path, same
+       allocations), but GC scheduling varies across machines and
+       OCAMLRUNPARAM settings, so the memory metrics are Warnings with
+       generous tolerances: allocation within 25% above a 1 MB floor,
+       peak heap within 50% above a 16 MB floor (heap sizing is the
+       runtime's choice), and major collections within +-8. *)
+    { id = "qor/alloc_mb_total";
+      metric = "allocated";
+      unit_ = "MB";
+      kind = Rel { tol = 0.25; floor = 1.0; repeat_aware = false };
+      sense = Lower_better;
+      severity = Verify.Rule.Warning };
+    { id = "qor/peak_heap_mb";
+      metric = "peak heap";
+      unit_ = "MB";
+      kind = Rel { tol = 0.5; floor = 16.0; repeat_aware = false };
+      sense = Lower_better;
+      severity = Verify.Rule.Warning };
+    { id = "qor/major_collections";
+      metric = "major GCs";
+      unit_ = "1";
+      kind = Abs { tol = 8. };
+      sense = Lower_better;
+      severity = Verify.Rule.Warning };
     { id = "qor/verify_rules";
       metric = "verify rule ids";
       unit_ = "1";

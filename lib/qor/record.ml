@@ -12,6 +12,10 @@ type t = {
   par_speedup : float;
   stage_s : (string * float) list;
   place_route_s : float;
+  stage_alloc_mb : (string * float) list;
+  alloc_mb_total : float;
+  peak_heap_mb : float;
+  major_collections : int;
   f3db_mhz : float;
   max_inl_lsb : float;
   max_dnl_lsb : float;
@@ -85,6 +89,22 @@ let of_result ?(repeat = 1) ?(jobs = 1) ?(par_speedup = Float.nan)
     par_speedup;
     stage_s = r.Ccdac.Flow.telemetry.Telemetry.Summary.stages;
     place_route_s = r.Ccdac.Flow.elapsed_place_route_s;
+    stage_alloc_mb =
+      List.map
+        (fun (n, d) -> (n, Telemetry.Memory.allocated_mb d))
+        (Telemetry.Summary.memory_stages r.Ccdac.Flow.telemetry);
+    alloc_mb_total =
+      (match Telemetry.Summary.total_memory r.Ccdac.Flow.telemetry with
+       | Some d -> Telemetry.Memory.allocated_mb d
+       | None -> Float.nan);
+    peak_heap_mb =
+      (match Telemetry.Summary.total_memory r.Ccdac.Flow.telemetry with
+       | Some d -> Telemetry.Memory.peak_heap_mb d
+       | None -> Float.nan);
+    major_collections =
+      (match Telemetry.Summary.total_memory r.Ccdac.Flow.telemetry with
+       | Some d -> d.Telemetry.Memory.major_collections
+       | None -> 0);
     f3db_mhz = r.Ccdac.Flow.f3db_mhz;
     max_inl_lsb = r.Ccdac.Flow.max_inl;
     max_dnl_lsb = r.Ccdac.Flow.max_dnl;
@@ -115,6 +135,11 @@ let to_json t =
       ( "stage_s",
         Json.Obj (List.map (fun (n, s) -> (n, Json.Num s)) t.stage_s) );
       ("place_route_s", Json.Num t.place_route_s);
+      ( "stage_alloc_mb",
+        Json.Obj (List.map (fun (n, s) -> (n, Json.Num s)) t.stage_alloc_mb) );
+      ("alloc_mb_total", Json.Num t.alloc_mb_total);
+      ("peak_heap_mb", Json.Num t.peak_heap_mb);
+      ("major_collections", Json.Num (float_of_int t.major_collections));
       ("f3db_mhz", Json.Num t.f3db_mhz);
       ("max_inl_lsb", Json.Num t.max_inl_lsb);
       ("max_dnl_lsb", Json.Num t.max_dnl_lsb);
@@ -150,14 +175,15 @@ let of_json j =
       | Some l -> List.filter_map Json.to_str l
       | None -> []
     in
-    let stage_s =
-      match Json.member "stage_s" j with
+    let stage_table name =
+      match Json.member name j with
       | Some (Json.Obj fields) ->
         List.filter_map
           (fun (n, v) -> Option.map (fun s -> (n, s)) (Json.to_float v))
           fields
       | Some _ | None -> []
     in
+    let stage_s = stage_table "stage_s" in
     let style = str "style" "" in
     let bits = int "bits" 0 in
     Ok
@@ -172,6 +198,10 @@ let of_json j =
         par_speedup = num "par_speedup" Float.nan;
         stage_s;
         place_route_s = num "place_route_s" Float.nan;
+        stage_alloc_mb = stage_table "stage_alloc_mb";
+        alloc_mb_total = num "alloc_mb_total" Float.nan;
+        peak_heap_mb = num "peak_heap_mb" Float.nan;
+        major_collections = int "major_collections" 0;
         f3db_mhz = num "f3db_mhz" Float.nan;
         max_inl_lsb = num "max_inl_lsb" Float.nan;
         max_dnl_lsb = num "max_dnl_lsb" Float.nan;

@@ -22,6 +22,15 @@ type t = {
                                    [jobs] ([nan] when not measured) *)
   stage_s : (string * float) list;  (** per-stage seconds, execution order *)
   place_route_s : float;       (** Table III runtime (place + route) *)
+  stage_alloc_mb : (string * float) list;
+                               (** per-stage allocated MB — empty unless
+                                   {!Telemetry.Memory} sampling was on *)
+  alloc_mb_total : float;      (** whole-flow allocation, MB ([nan] when
+                                   not sampled) *)
+  peak_heap_mb : float;        (** peak major heap, MB ([nan] when not
+                                   sampled) *)
+  major_collections : int;     (** whole-flow major GCs (0 when not
+                                   sampled) *)
   f3db_mhz : float;
   max_inl_lsb : float;
   max_dnl_lsb : float;

@@ -32,7 +32,18 @@ let getenv =
        configuration at the CLI boundary and pass it down (Par.Jobs owns \
        the one sanctioned knob)."
 
-let rules = [ wall_clock; random_self_init; ambient_random; getenv ]
+let gc_mutation =
+  Rule.make ~id:"det/gc-mutation" ~category:Rule.Determinism
+    ~severity:Rule.Error
+    ~doc:
+      "Mutating the GC (Gc.set, Gc.compact, Gc.full_major, ...) from \
+       library or CLI code changes process-wide collection scheduling and \
+       skews Telemetry.Memory accounting for every other caller; only \
+       lib/telemetry may touch it, and benches/tests stay exempt.  \
+       Read-only probes (Gc.quick_stat, Gc.minor_words) are fine."
+
+let rules = [ wall_clock; random_self_init; ambient_random; getenv;
+              gc_mutation ]
 
 let wall_clock_idents =
   [ "Unix.gettimeofday"; "Unix.time"; "Unix.localtime"; "Unix.gmtime";
@@ -41,6 +52,12 @@ let wall_clock_idents =
 let self_init_idents = [ "Random.self_init"; "Random.State.make_self_init" ]
 
 let getenv_idents = [ "Sys.getenv"; "Sys.getenv_opt"; "Unix.getenv" ]
+
+(* GC *mutators* only — Gc.quick_stat / Gc.minor_words / Gc.stat are
+   read-only and deliberately absent. *)
+let gc_mutation_idents =
+  [ "Gc.set"; "Gc.compact"; "Gc.full_major"; "Gc.major"; "Gc.minor";
+    "Gc.major_slice" ]
 
 (* [Random.int], [Random.float], ... — any direct use of the implicit
    global generator.  [Random.State.*] carries its state explicitly and is
@@ -73,5 +90,10 @@ let check (src : Source.t) =
         then emit ambient_random loc name
         else if src.Source.zone = Source.Lib && List.mem name getenv_idents
         then emit getenv loc name
+        else if
+          (src.Source.zone = Source.Lib || src.Source.zone = Source.Bin)
+          && src.Source.lib <> Some "telemetry"
+          && List.mem name gc_mutation_idents
+        then emit gc_mutation loc name
       | _ -> ());
   List.rev !out

@@ -1,10 +1,14 @@
 type t = {
   metrics : Metrics.scope_ctx;
   spans : Span.ctx;
+  memory : Memory.ctx;
 }
 
 let capture () =
-  { metrics = Metrics.capture_scopes (); spans = Span.capture_context () }
+  { metrics = Metrics.capture_scopes ();
+    spans = Span.capture_context ();
+    memory = Memory.capture_ctx () }
 
 let with_ t f =
-  Metrics.with_scopes t.metrics (fun () -> Span.with_context t.spans f)
+  Metrics.with_scopes t.metrics (fun () ->
+      Span.with_context t.spans (fun () -> Memory.with_ctx t.memory f))

@@ -15,7 +15,9 @@
 type t
 
 (** [capture ()] snapshots the calling domain's active metric scopes,
-    span collectors and span stack. *)
+    span collectors, span stack and memory ledger ({!Memory.ctx}): a
+    worker task's GC delta is credited back to the submitting domain, so
+    parallel stages attribute allocation correctly. *)
 val capture : unit -> t
 
 (** [with_ t f] runs [f] with the captured context installed in the

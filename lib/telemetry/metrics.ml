@@ -265,8 +265,8 @@ let value_text unit_ = function
       | Some v -> Printf.sprintf "%g" v
       | None -> "-"
     in
-    Printf.sprintf "count=%d sum=%g p50=%s p95=%s [%s]" d.total d.sum (q 0.5)
-      (q 0.95) buckets
+    Printf.sprintf "count=%d sum=%g p50=%s p95=%s p99=%s [%s]" d.total d.sum
+      (q 0.5) (q 0.95) (q 0.99) buckets
 
 let to_text dump =
   let buf = Buffer.create 512 in
@@ -300,6 +300,7 @@ let value_json = function
         ("sum", Json.Num d.sum);
         ("p50", qjson 0.5);
         ("p95", qjson 0.95);
+        ("p99", qjson 0.99);
         ("buckets", Json.Arr buckets) ]
 
 let to_json dump =

@@ -95,7 +95,7 @@ val labels : dump -> string -> string option list
     first bucket's lower edge as 0 and clamping the overflow bucket to
     the last declared bound.  [None] for counters, gauges, and empty
     histograms; raises [Invalid_argument] when [q] is outside [0, 1].
-    Rendered as [p50]/[p95] in {!to_text} and {!to_json}. *)
+    Rendered as [p50]/[p95]/[p99] in {!to_text} and {!to_json}. *)
 val quantile : value -> float -> float option
 
 (** [to_text dump] is the aligned human-readable dump. *)

@@ -7,7 +7,7 @@ let null = { on_span = (fun _ -> ()); close = (fun () -> ()) }
 
 let text ?(ppf = Format.err_formatter) () =
   let on_span (c : Span.complete) =
-    Format.fprintf ppf "%s%-24s %10.3f ms%a@."
+    Format.fprintf ppf "%s%-24s %10.3f ms%a%a@."
       (String.make (2 * c.Span.depth) ' ')
       c.Span.name
       (Clock.to_us c.Span.duration_ns /. 1e3)
@@ -16,6 +16,13 @@ let text ?(ppf = Format.err_formatter) () =
            (fun (k, v) -> Format.fprintf ppf "  %s=%a" k Span.pp_value v)
            attrs)
       c.Span.attrs
+      (fun ppf mem ->
+         match mem with
+         | None -> ()
+         | Some d ->
+           Format.fprintf ppf "  alloc=%.2fMB majors=%d"
+             (Memory.allocated_mb d) d.Memory.major_collections)
+      c.Span.mem
   in
   { on_span; close = (fun () -> Format.pp_print_flush ppf ()) }
 
@@ -29,14 +36,47 @@ let event_json (c : Span.complete) =
       ("pid", Json.Num 1.);
       ("tid", Json.Num (float_of_int c.Span.domain)) ]
   in
+  let mem_args =
+    match c.Span.mem with
+    | None -> []
+    | Some d ->
+      [ ("alloc_mb", Json.Num (Memory.allocated_mb d));
+        ("major_collections", Json.Num (float_of_int d.Memory.major_collections)) ]
+  in
   let args =
-    match c.Span.attrs with
+    match
+      List.map (fun (k, v) -> (k, Span.json_value v)) c.Span.attrs @ mem_args
+    with
     | [] -> []
-    | attrs ->
-      [ ( "args",
-          Json.Obj (List.map (fun (k, v) -> (k, Span.json_value v)) attrs) ) ]
+    | kvs -> [ ("args", Json.Obj kvs) ]
   in
   Json.Obj (base @ args)
+
+(* Heap-size counter ("ph": "C") events: one at span entry, one at exit,
+   so the trace viewer draws the major-heap sawtooth stage by stage.
+   Emitted only for spans that carry a GC delta, and on the dedicated
+   counter track tid 0 (OCaml 5's major heap is process-wide, so
+   per-domain counters would just disagree about one shared number). *)
+let counter_events (c : Span.complete) =
+  match c.Span.mem with
+  | None -> []
+  | Some d ->
+    let ev ts heap_w =
+      Json.Obj
+        [ ("name", Json.Str "heap_mb");
+          ("cat", Json.Str "ccdac");
+          ("ph", Json.Str "C");
+          ("ts", Json.Num (Clock.to_us ts));
+          ("pid", Json.Num 1.);
+          ("tid", Json.Num 0.);
+          ( "args",
+            Json.Obj
+              [ ( "heap_mb",
+                  Json.Num (Memory.words_to_mb (float_of_int heap_w)) ) ] ) ]
+    in
+    [ ev c.Span.start_ns d.Memory.heap_words_before;
+      ev (Int64.add c.Span.start_ns c.Span.duration_ns)
+        d.Memory.heap_words_after ]
 
 (* Metadata ("ph": "M") events so Perfetto labels the process and thread
    rows: the process is the tool; the root span's domain gets the root's
@@ -93,7 +133,10 @@ let metadata_events spans =
 let events_json spans =
   Json.Obj
     [ ( "traceEvents",
-        Json.Arr (metadata_events spans @ List.map event_json spans) );
+        Json.Arr
+          (metadata_events spans
+           @ List.map event_json spans
+           @ List.concat_map counter_events spans) );
       ("displayTimeUnit", Json.Str "ms") ]
 
 let chrome_trace ~path =

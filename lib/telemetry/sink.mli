@@ -30,7 +30,10 @@ val chrome_trace : path:string -> t
     event list opens with ["ph": "M"] metadata events naming the process
     ([ccdac]) and the thread after the root span — its name plus its
     attrs (e.g. ["flow.run style=spiral bits=8"]) — so Perfetto titles
-    the tracks usefully. *)
+    the tracks usefully.  Spans carrying a {!Memory.delta} additionally
+    emit ["ph": "C"] [heap_mb] counter events at entry and exit (the
+    major-heap sawtooth) and [alloc_mb]/[major_collections] args on
+    their duration events. *)
 val events_json : Span.complete list -> Json.t
 
 (** [with_ sink f] installs [sink] for the duration of [f] and closes it

@@ -13,6 +13,7 @@ type complete = {
   parent : string option;
   seq : int;
   domain : int;
+  mem : Memory.delta option;
 }
 
 type sink_id = int
@@ -59,14 +60,18 @@ let with_ ?(attrs = []) ~name f =
     let seq = Atomic.fetch_and_add next_seq 1 in
     let domain = (Domain.self () :> int) in
     stack := name :: !stack;
+    let mem0 = Memory.start () in
     let start_ns = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let duration_ns = Clock.since_ns start_ns in
+        let mem = Option.map Memory.finish mem0 in
         (match !stack with
          | _ :: rest -> stack := rest
          | [] -> ());
-        deliver { name; attrs; start_ns; duration_ns; depth; parent; seq; domain })
+        deliver
+          { name; attrs; start_ns; duration_ns; depth; parent; seq; domain;
+            mem })
       f
   end
 

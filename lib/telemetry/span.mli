@@ -36,6 +36,8 @@ type complete = {
   parent : string option;
   seq : int;             (** global start order *)
   domain : int;          (** id of the domain that ran the span *)
+  mem : Memory.delta option;
+                         (** GC delta, when {!Memory.enabled} was on *)
 }
 
 (** [with_ ?attrs ~name f] runs [f] inside a span.  The span completes —

@@ -4,12 +4,14 @@ type t = {
   spans : Span.complete list;
   metrics : Metrics.dump;
   stages : (string * float) list;
+  mem_stages : (string * Memory.delta) list;
   total_s : float;
+  mem_total : Memory.delta option;
 }
 
 let empty =
   { name = ""; attrs = []; spans = []; metrics = Metrics.empty; stages = [];
-    total_s = 0. }
+    mem_stages = []; total_s = 0.; mem_total = None }
 
 let record ?(attrs = []) ~name f =
   let (x, metrics), spans =
@@ -29,24 +31,44 @@ let record ?(attrs = []) ~name f =
          s.Span.depth = root_depth && String.equal s.Span.name name)
       spans
   in
+  let stage_spans =
+    List.filter
+      (fun (s : Span.complete) ->
+         s.Span.depth = root_depth + 1 && s.Span.parent = Some name)
+      spans
+  in
   let stages =
+    List.map
+      (fun (s : Span.complete) ->
+         (s.Span.name, Clock.to_s s.Span.duration_ns))
+      stage_spans
+  in
+  let mem_stages =
     List.filter_map
       (fun (s : Span.complete) ->
-         if s.Span.depth = root_depth + 1 && s.Span.parent = Some name then
-           Some (s.Span.name, Clock.to_s s.Span.duration_ns)
-         else None)
-      spans
+         Option.map (fun d -> (s.Span.name, d)) s.Span.mem)
+      stage_spans
   in
   let total_s =
     match root with
     | Some r -> Clock.to_s r.Span.duration_ns
     | None -> 0.
   in
-  (x, { name; attrs; spans; metrics; stages; total_s })
+  let mem_total = Option.bind root (fun r -> r.Span.mem) in
+  (x, { name; attrs; spans; metrics; stages; mem_stages; total_s; mem_total })
 
 let stage_seconds t name = List.assoc_opt name t.stages
 
 let stage_names t = List.map fst t.stages
+
+let stage_memory t name = List.assoc_opt name t.mem_stages
+
+let memory_stages t = t.mem_stages
+
+let total_memory t = t.mem_total
+
+let stage_alloc_mb t name =
+  Option.map Memory.allocated_mb (stage_memory t name)
 
 let seconds_or_0 t name = Option.value ~default:0. (stage_seconds t name)
 
@@ -57,9 +79,35 @@ let pp ppf t =
     (if t.name = "" then "(empty)" else t.name)
     (1e3 *. t.total_s);
   List.iter
-    (fun (stage, s) -> Format.fprintf ppf "  %-10s %10.3f ms@," stage (1e3 *. s))
+    (fun (stage, s) ->
+       match stage_memory t stage with
+       | None ->
+         Format.fprintf ppf "  %-10s %10.3f ms@," stage (1e3 *. s)
+       | Some d ->
+         Format.fprintf ppf "  %-10s %10.3f ms  %8.2f MB alloc@," stage
+           (1e3 *. s) (Memory.allocated_mb d))
     t.stages;
+  (match t.mem_total with
+   | None -> ()
+   | Some d ->
+     Format.fprintf ppf "  %-10s %8.2f MB alloc, %.2f MB peak heap, %d major gc@,"
+       "memory" (Memory.allocated_mb d) (Memory.peak_heap_mb d)
+       d.Memory.major_collections);
   Format.fprintf ppf "@]"
+
+let memory_json t =
+  match t.mem_total with
+  | None -> Json.Null
+  | Some d ->
+    Json.Obj
+      [ ( "stages_alloc_mb",
+          Json.Obj
+            (List.map
+               (fun (k, d) -> (k, Json.Num (Memory.allocated_mb d)))
+               t.mem_stages) );
+        ("alloc_mb_total", Json.Num (Memory.allocated_mb d));
+        ("peak_heap_mb", Json.Num (Memory.peak_heap_mb d));
+        ("major_collections", Json.Num (float_of_int d.Memory.major_collections)) ]
 
 let to_json t =
   Json.Obj
@@ -69,4 +117,5 @@ let to_json t =
       ("total_s", Json.Num t.total_s);
       ( "stages_s",
         Json.Obj (List.map (fun (k, s) -> (k, Json.Num s)) t.stages) );
+      ("memory", memory_json t);
       ("metrics", Metrics.to_json t.metrics) ]

@@ -14,7 +14,11 @@ type t = {
   metrics : Metrics.dump;
   stages : (string * float) list;     (** root's direct children: name ->
                                           seconds, in execution order *)
+  mem_stages : (string * Memory.delta) list;
+                                      (** same stages' GC deltas — empty
+                                          unless {!Memory.enabled} was on *)
   total_s : float;                    (** root span duration *)
+  mem_total : Memory.delta option;    (** root span's GC delta *)
 }
 
 (** A summary with nothing in it (placeholder before {!record} runs). *)
@@ -33,6 +37,20 @@ val stage_seconds : t -> string -> float option
 (** [stage_names t] in execution order. *)
 val stage_names : t -> string list
 
+(** {2 Memory} — populated only when {!Memory.enabled} was on. *)
+
+(** [stage_memory t name] is the named top-level stage's GC delta. *)
+val stage_memory : t -> string -> Memory.delta option
+
+(** [memory_stages t] — the per-stage allocation table, execution order. *)
+val memory_stages : t -> (string * Memory.delta) list
+
+(** [total_memory t] — the root span's GC delta. *)
+val total_memory : t -> Memory.delta option
+
+(** [stage_alloc_mb t name] — the named stage's allocation in MB. *)
+val stage_alloc_mb : t -> string -> float option
+
 (** [place_route_seconds t] is the sum of the ["place"] and ["route"]
     stage durations — the Table III measurement.  The verification gate
     and the analysis stages are deliberately excluded. *)
@@ -41,6 +59,7 @@ val place_route_seconds : t -> float
 (** [pp ppf t] prints the per-stage breakdown. *)
 val pp : Format.formatter -> t -> unit
 
-(** [to_json t] carries the stage table and the metric dump (not the raw
-    spans — export those with {!Sink.chrome_trace}). *)
+(** [to_json t] carries the stage table, the memory object ([null] when
+    sampling was off) and the metric dump (not the raw spans — export
+    those with {!Sink.chrome_trace}). *)
 val to_json : t -> Json.t

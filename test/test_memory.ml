@@ -1,0 +1,170 @@
+(* Tests for Telemetry.Memory: allocation-delta sanity, the
+   pay-nothing-when-inactive contract, bitwise determinism of flow
+   results with sampling on vs off at several --jobs values, and
+   cross-domain attribution — a stage span that fans out through
+   Par.Pool must absorb its workers' allocation, and only its own. *)
+
+module T = Telemetry
+
+let words_per_mb = 1048576 / (Sys.word_size / 8)
+
+(* Allocate [mb] mebibytes in sub-Max_young_wosize chunks so every word
+   goes through the minor heap, where Gc.minor_words tracks the live
+   allocation pointer exactly (large arrays go straight to the major
+   heap, whose counters only refresh at GC events). *)
+let churn_mb mb =
+  let chunks = mb * words_per_mb / 128 in
+  let keep = ref 0. in
+  for _ = 1 to chunks do
+    let a = Sys.opaque_identity (Array.make 128 1.) in
+    keep := !keep +. a.(0)
+  done;
+  !keep
+
+let test_disabled_is_free () =
+  Alcotest.(check bool) "sampling off by default" false (T.Memory.enabled ());
+  Alcotest.(check bool) "start yields nothing" true (T.Memory.start () = None);
+  let (), spans =
+    T.Span.collect (fun () ->
+        T.Span.with_ ~name:"quiet" (fun () -> ignore (churn_mb 1)))
+  in
+  List.iter
+    (fun s ->
+       Alcotest.(check bool) "span carries no delta" true (s.T.Span.mem = None))
+    spans
+
+let test_alloc_delta_sanity () =
+  T.Memory.with_enabled true @@ fun () ->
+  let (), spans =
+    T.Span.collect (fun () ->
+        T.Span.with_ ~name:"churn" (fun () -> ignore (churn_mb 8)))
+  in
+  match (List.hd spans).T.Span.mem with
+  | None -> Alcotest.fail "sampling on but span has no delta"
+  | Some d ->
+    let mb = T.Memory.allocated_mb d in
+    Alcotest.(check bool)
+      (Printf.sprintf "churn of 8 MB reports >= 8 MB (got %.2f)" mb)
+      true (mb >= 8.);
+    (* headers add < 2 words per 128-word chunk; anything past 2x means
+       double counting (own delta + ledger echo) *)
+    Alcotest.(check bool)
+      (Printf.sprintf "no double counting (got %.2f)" mb)
+      true (mb < 16.);
+    Alcotest.(check bool) "collections are non-negative" true
+      (d.T.Memory.minor_collections >= 0 && d.T.Memory.major_collections >= 0)
+
+(* The inactive fast path: sampling off, no span sinks — a span must cost
+   (almost) nothing, allocation included.  The bound is generous (64
+   words/span covers the closure the optional-argument wrapper builds)
+   but catches any accidental Gc.quick_stat record on the fast path
+   (~250 words each). *)
+let test_inactive_overhead () =
+  let body () = Sys.opaque_identity 0 in
+  let n = 1000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    ignore (T.Span.with_ ~name:"idle" body)
+  done;
+  let per_span = (Gc.minor_words () -. w0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "inactive span allocates < 64 words (got %.1f)" per_span)
+    true (per_span < 64.)
+
+(* Sampling must be a pure observer: the flow's numerical results are
+   bitwise identical with it on or off, at any worker count. *)
+let test_flow_bitwise_invariant () =
+  let fingerprint sampled =
+    T.Memory.with_enabled sampled @@ fun () ->
+    let r = Ccdac.Flow.run ~bits:6 Ccplace.Style.Spiral in
+    ( List.map Int64.bits_of_float
+        [ r.Ccdac.Flow.f3db_mhz; r.Ccdac.Flow.max_inl; r.Ccdac.Flow.max_dnl;
+          r.Ccdac.Flow.tau_fs; r.Ccdac.Flow.area;
+          r.Ccdac.Flow.parasitics.Extract.Parasitics.total_wirelength ],
+      r.Ccdac.Flow.parasitics.Extract.Parasitics.total_via_cuts )
+  in
+  List.iter
+    (fun jobs ->
+       Par.Jobs.set_default jobs;
+       Fun.protect ~finally:Par.Jobs.clear_default @@ fun () ->
+       let off = fingerprint false and on = fingerprint true in
+       Alcotest.(check (pair (list int64) int))
+         (Printf.sprintf "jobs=%d: sampling is a pure observer" jobs)
+         off on)
+    [ 1; 4 ]
+
+(* Worker-domain attribution: a span fanning 16 MB of allocation out
+   through a 4-worker pool reports it all (the submitter's counters see
+   none of it without the ledger), while a sibling span doing trivial
+   work stays near zero — workers' allocation lands on the right span. *)
+let test_parallel_attribution () =
+  T.Memory.with_enabled true @@ fun () ->
+  let (), spans =
+    T.Span.collect (fun () ->
+        T.Span.with_ ~name:"fan" (fun () ->
+            ignore
+              (Par.Pool.map_list_exn ~jobs:4
+                 (fun _ -> churn_mb 2)
+                 [ 1; 2; 3; 4; 5; 6; 7; 8 ]));
+        T.Span.with_ ~name:"quiet" (fun () -> Sys.opaque_identity ()))
+  in
+  let mem name =
+    match
+      (List.find (fun s -> String.equal s.T.Span.name name) spans).T.Span.mem
+    with
+    | Some d -> T.Memory.allocated_mb d
+    | None -> Alcotest.fail (name ^ ": no delta")
+  in
+  let fan = mem "fan" and quiet = mem "quiet" in
+  Alcotest.(check bool)
+    (Printf.sprintf "fan-out span absorbs worker allocation (got %.2f)" fan)
+    true (fan >= 16.);
+  Alcotest.(check bool)
+    (Printf.sprintf "no double counting across ledger (got %.2f)" fan)
+    true (fan < 32.);
+  Alcotest.(check bool)
+    (Printf.sprintf "sibling span stays clean (got %.3f)" quiet)
+    true (quiet < 1.)
+
+(* Summary plumbing: a recorded flow summary exposes per-stage deltas
+   that add up (within rounding slack) to the root total. *)
+let test_summary_memory () =
+  T.Memory.with_enabled true @@ fun () ->
+  let r = Ccdac.Flow.run ~bits:6 Ccplace.Style.Spiral in
+  let s = r.Ccdac.Flow.telemetry in
+  (match T.Summary.total_memory s with
+   | None -> Alcotest.fail "flow summary has no memory total"
+   | Some total ->
+     let stage_sum =
+       List.fold_left
+         (fun acc (_, d) -> acc +. T.Memory.allocated_mb d)
+         0. (T.Summary.memory_stages s)
+     in
+     let total_mb = T.Memory.allocated_mb total in
+     Alcotest.(check bool)
+       (Printf.sprintf "stages (%.2f MB) <= total (%.2f MB)" stage_sum
+          total_mb)
+       true (stage_sum <= total_mb +. 0.1));
+  List.iter
+    (fun stage ->
+       Alcotest.(check bool) (stage ^ " has a delta") true
+         (T.Summary.stage_memory s stage <> None))
+    [ "place"; "route"; "extract"; "analyse" ]
+
+let () =
+  Alcotest.run "memory"
+    [ ( "sampling",
+        [ Alcotest.test_case "disabled is free" `Quick test_disabled_is_free;
+          Alcotest.test_case "alloc delta sanity" `Quick
+            test_alloc_delta_sanity;
+          Alcotest.test_case "inactive overhead" `Quick test_inactive_overhead
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "flow bitwise invariant" `Quick
+            test_flow_bitwise_invariant ] );
+      ( "domains",
+        [ Alcotest.test_case "parallel attribution" `Quick
+            test_parallel_attribution ] );
+      ( "summary",
+        [ Alcotest.test_case "flow summary memory" `Quick test_summary_memory
+        ] ) ]

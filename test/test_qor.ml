@@ -418,6 +418,98 @@ let test_quantile () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "q outside [0, 1] must raise"
 
+(* Nearest-rank pin at small n: one observation per bucket, bounds
+   1/2/5.  rank(p99) = 2.97 lands 0.97 into the (2, 5] bucket, so the
+   boundary interpolation must yield exactly 2 + 3 * 0.97 = 4.91 — a
+   p99 that collapsed onto p95 (or the last bound) would miss it. *)
+let test_quantile_p99_small_n () =
+  let dist =
+    Telemetry.Metrics.Dist
+      { bounds = [| 1.; 2.; 5. |];
+        counts = [| 1; 1; 1; 0 |];
+        sum = 6.;
+        total = 3 }
+  in
+  let q p =
+    match Telemetry.Metrics.quantile dist p with
+    | Some v -> v
+    | None -> Alcotest.failf "p%g missing" (100. *. p)
+  in
+  check_float "p99 interpolates in the top bucket" 4.91 (q 0.99);
+  check_float "p50 stays put" 1.5 (q 0.5);
+  Alcotest.(check bool) "quantiles are monotone" true
+    (q 0.5 <= q 0.95 && q 0.95 <= q 0.99)
+
+(* --- memory fields (Telemetry.Memory sampling) --- *)
+
+let sampled_record =
+  lazy
+    (Telemetry.Memory.with_enabled true (fun () ->
+         Qor.Record.of_result (Ccdac.Flow.run ~tech ~bits:6 Ccplace.Style.Spiral)))
+
+let test_memory_record_roundtrip () =
+  let r = Lazy.force sampled_record in
+  Alcotest.(check bool) "allocation sampled" true
+    (r.Qor.Record.alloc_mb_total > 0.);
+  Alcotest.(check bool) "per-stage allocation sampled" true
+    (List.mem_assoc "place" r.Qor.Record.stage_alloc_mb
+     && List.mem_assoc "analyse" r.Qor.Record.stage_alloc_mb);
+  match Qor.Record.of_json (Qor.Record.to_json r) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r' ->
+    check_float "alloc total survives" r.Qor.Record.alloc_mb_total
+      r'.Qor.Record.alloc_mb_total;
+    check_float "peak heap survives" r.Qor.Record.peak_heap_mb
+      r'.Qor.Record.peak_heap_mb;
+    Alcotest.(check int) "major GCs survive" r.Qor.Record.major_collections
+      r'.Qor.Record.major_collections;
+    Alcotest.(check int) "stage table survives"
+      (List.length r.Qor.Record.stage_alloc_mb)
+      (List.length r'.Qor.Record.stage_alloc_mb)
+
+(* A sampled baseline against an unsampled current (or vice versa) skips
+   the memory metrics instead of failing them incomparable — old ledgers
+   stay diffable after this schema addition. *)
+let test_memory_compat_with_unsampled () =
+  let r = Lazy.force sampled_record in
+  let unsampled =
+    { r with
+      Qor.Record.stage_alloc_mb = [];
+      alloc_mb_total = Float.nan;
+      peak_heap_mb = Float.nan;
+      major_collections = 0 }
+  in
+  let check_clean ~baseline ~current =
+    let cmp = Qor.Compare.diff ~baseline:[ baseline ] ~current:[ current ] in
+    match Qor.Compare.gate ~werror:true cmp with
+    | Ok () -> ()
+    | Error fs ->
+      Alcotest.failf "mixed-sampling diff failed the gate: %s"
+        (String.concat ", " (finding_ids fs))
+  in
+  check_clean ~baseline:r ~current:unsampled;
+  check_clean ~baseline:unsampled ~current:r
+
+(* the memscale acceptance scenario: a doubled allocation total is a
+   Warning-severity regression pinned to qor/alloc_mb_total *)
+let test_diff_seeded_alloc_regression () =
+  let r = Lazy.force sampled_record in
+  let base = { r with Qor.Record.alloc_mb_total = 40. } in
+  let bloated = { base with Qor.Record.alloc_mb_total = 80. } in
+  let cmp = Qor.Compare.diff ~baseline:[ base ] ~current:[ bloated ] in
+  (* Warning severity: clean by default... *)
+  (match Qor.Compare.gate cmp with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "alloc drift must not fail a default gate");
+  (* ...flagged under --werror *)
+  match Qor.Compare.gate ~werror:true cmp with
+  | Ok () -> Alcotest.fail "a doubled allocation must fail under --werror"
+  | Error fs ->
+    Alcotest.(check (list string)) "pinned verdict id"
+      [ "qor/alloc_mb_total" ] (finding_ids fs);
+    Alcotest.check verdict "regressed" Qor.Policy.Regressed
+      (List.hd fs).Qor.Compare.verdict
+
 let () =
   Alcotest.run "qor"
     [ ( "record",
@@ -448,9 +540,18 @@ let () =
           Alcotest.test_case "coverage and skew" `Quick
             test_diff_coverage_and_skew;
           Alcotest.test_case "verdict json" `Quick test_diff_json_shape ] );
+      ( "memory",
+        [ Alcotest.test_case "sampled record roundtrip" `Quick
+            test_memory_record_roundtrip;
+          Alcotest.test_case "unsampled compat" `Quick
+            test_memory_compat_with_unsampled;
+          Alcotest.test_case "seeded alloc regression" `Quick
+            test_diff_seeded_alloc_regression ] );
       ( "explain",
         [ Alcotest.test_case "delay sums" `Quick test_explain_delay_sums;
           Alcotest.test_case "inl sums" `Quick test_explain_inl_sums;
           Alcotest.test_case "renderings" `Quick test_explain_renderings ] );
       ( "quantile",
-        [ Alcotest.test_case "histogram quantiles" `Quick test_quantile ] ) ]
+        [ Alcotest.test_case "histogram quantiles" `Quick test_quantile;
+          Alcotest.test_case "p99 at small n" `Quick test_quantile_p99_small_n
+        ] ) ]

@@ -50,6 +50,22 @@ let test_getenv () =
   check_fired "getenv at the CLI boundary" [] "bin/tool.ml"
     "let v () = Sys.getenv_opt \"HOME\""
 
+let test_gc_mutation () =
+  check_fired "Gc.compact in lib" [ "det/gc-mutation" ] lib_path
+    "let shrink () = Gc.compact ()";
+  check_fired "Gc.set in bin" [ "det/gc-mutation" ] "bin/tool.ml"
+    "let tune () = Gc.set { (Gc.get ()) with Gc.space_overhead = 200 }";
+  check_fired "Gc.full_major in lib" [ "det/gc-mutation" ] lib_path
+    "let settle () = Gc.full_major ()";
+  (* the accounting layer itself is the one sanctioned mutator *)
+  check_fired "lib/telemetry is exempt" [] "lib/telemetry/fake.ml"
+    "let settle () = Gc.full_major ()";
+  (* benches may pin heap state between measurements *)
+  check_fired "bench may mutate" [] "bench/main.ml"
+    "let quiesce () = Gc.full_major ()";
+  check_fired "read-only probes are fine" [] lib_path
+    "let heap () = (Gc.quick_stat ()).Gc.heap_words"
+
 (* --- domain-safety rules --- *)
 
 let test_global_ref () =
@@ -329,7 +345,8 @@ let () =
         [ Alcotest.test_case "wall clock" `Quick test_wall_clock;
           Alcotest.test_case "random self-init" `Quick test_random_self_init;
           Alcotest.test_case "ambient random" `Quick test_ambient_random;
-          Alcotest.test_case "getenv" `Quick test_getenv ] );
+          Alcotest.test_case "getenv" `Quick test_getenv;
+          Alcotest.test_case "gc mutation" `Quick test_gc_mutation ] );
       ( "domain safety",
         [ Alcotest.test_case "global ref" `Quick test_global_ref;
           Alcotest.test_case "global mutable" `Quick test_global_mutable;

@@ -254,6 +254,48 @@ let test_chrome_trace_file () =
              (ts child >= ts root && ts child +. dur child <= ts root +. dur root +. 1.)
          | _ -> Alcotest.fail "expected two events")
 
+(* With memory sampling on, every span grows "C" heap counter events
+   (two per span: heap at entry and at exit) and the "X" event carries
+   alloc args.  test_chrome_trace_file above pins the sampling-off shape
+   — exactly two non-metadata events — so viewers never see counters
+   unless asked for. *)
+let test_chrome_trace_heap_counters () =
+  let spans =
+    T.Memory.with_enabled true @@ fun () ->
+    snd
+      (T.Span.collect (fun () ->
+           T.Span.with_ ~name:"root" (fun () ->
+               T.Span.with_ ~name:"child" ignore)))
+  in
+  match T.Json.member "traceEvents" (T.Sink.events_json spans) with
+  | None -> Alcotest.fail "no traceEvents"
+  | Some evs ->
+    let all = Option.get (T.Json.to_list evs) in
+    let ph e = Option.bind (T.Json.member "ph" e) T.Json.to_str in
+    let counters = List.filter (fun e -> ph e = Some "C") all in
+    Alcotest.(check int) "two heap counters per span" 4
+      (List.length counters);
+    List.iter
+      (fun e ->
+         Alcotest.(check (option string)) "counter name" (Some "heap_mb")
+           (Option.bind (T.Json.member "name" e) T.Json.to_str);
+         let heap =
+           Option.bind (T.Json.member "args" e) (fun a ->
+               Option.bind (T.Json.member "heap_mb" a) T.Json.to_float)
+         in
+         Alcotest.(check bool) "heap sample >= 0" true
+           (match heap with Some h -> h >= 0. | None -> false))
+      counters;
+    (* the duration events gained allocation args *)
+    List.iter
+      (fun e ->
+         if ph e = Some "X" then
+           Alcotest.(check bool) "alloc_mb arg present" true
+             (Option.is_some
+                (Option.bind (T.Json.member "args" e)
+                   (T.Json.member "alloc_mb"))))
+      all
+
 (* --- summary + flow instrumentation --- *)
 
 let flow_stages = [ "place"; "route"; "verify"; "lvs"; "extract"; "analyse" ]
@@ -352,7 +394,9 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors ] );
       ( "chrome-trace",
-        [ Alcotest.test_case "file format" `Quick test_chrome_trace_file ] );
+        [ Alcotest.test_case "file format" `Quick test_chrome_trace_file;
+          Alcotest.test_case "heap counters" `Quick
+            test_chrome_trace_heap_counters ] );
       ( "flow",
         [ Alcotest.test_case "summary stages" `Quick test_flow_summary_stages;
           Alcotest.test_case "elapsed = place + route" `Quick
