@@ -42,11 +42,79 @@ let list_rules_arg =
   let doc = "Print the rule catalogue and exit." in
   Arg.(value & flag & info [ "list-rules" ] ~doc)
 
-let run root werror json rules allowlist_path no_allowlist list_rules =
+let typed_arg =
+  let doc =
+    "Force the typed whole-program pass (lib/ccdeps: $(b,int/*), \
+     $(b,arch/*)); error if no .cmt files exist under \
+     $(b,_build/default/lib).  Default: the pass runs automatically \
+     whenever cmts are present."
+  in
+  Arg.(value & flag & info [ "typed" ] ~doc)
+
+let no_typed_arg =
+  let doc = "Skip the typed whole-program pass even when cmts exist." in
+  Arg.(value & flag & info [ "no-typed" ] ~doc)
+
+let prune_arg =
+  let doc =
+    "Rewrite the suppression file in place, dropping every entry \
+     $(b,meta/stale-suppression) or $(b,meta/duplicate-suppression) \
+     would reject, then exit.  Comments and still-live entries are \
+     preserved."
+  in
+  Arg.(value & flag & info [ "prune" ] ~doc)
+
+let prune ~root ~allowlist_path (result : Srclint.Engine.result) =
+  let drop =
+    List.filter_map
+      (fun (s : Srclint.Engine.suppression) ->
+         if
+           s.Srclint.Engine.matched = 0
+           && List.mem s.Srclint.Engine.entry.Srclint.Allowlist.rule_id
+                Srclint.Registry.ids
+         then Some s.Srclint.Engine.entry.Srclint.Allowlist.line
+         else None)
+      result.Srclint.Engine.suppressions
+  in
+  if drop = [] then
+    Printf.printf "cclint: nothing to prune in %s\n" allowlist_path
+  else begin
+    let path = Filename.concat root allowlist_path in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents ->
+      let kept =
+        String.split_on_char '\n' contents
+        |> List.filteri (fun i _ -> not (List.mem (i + 1) drop))
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.concat "\n" kept));
+      Printf.printf "cclint: pruned %d dead suppression(s) from %s\n"
+        (List.length drop) allowlist_path
+    | exception Sys_error msg ->
+      Printf.eprintf "cclint: --prune: %s\n" msg;
+      exit 2
+  end
+
+let run root werror json rules allowlist_path no_allowlist list_rules
+    typed_flag no_typed prune_flag =
   if list_rules then begin
     if json then print_string (Srclint.Report.json_rules ())
     else Format.printf "%a" Srclint.Report.pp_rules ();
     exit 0
+  end;
+  if typed_flag && no_typed then begin
+    Printf.eprintf "cclint: --typed and --no-typed are contradictory\n";
+    exit 2
+  end;
+  if prune_flag && no_allowlist then begin
+    Printf.eprintf "cclint: --prune needs the suppression file it would \
+                    rewrite (drop --no-allowlist)\n";
+    exit 2
+  end;
+  if prune_flag && rules <> None then begin
+    Printf.eprintf "cclint: --prune under a --rules filter would drop \
+                    entries it never checked; run it unfiltered\n";
+    exit 2
   end;
   let rules =
     Option.map
@@ -76,19 +144,37 @@ let run root werror json rules allowlist_path no_allowlist list_rules =
         exit 2
     end
   in
-  let result = Srclint.Engine.run ?rules ~allowlist ~root () in
+  let typed =
+    if no_typed then None
+    else begin
+      let have_cmts = Ccdeps.Typed.available ~root in
+      if typed_flag && not have_cmts then begin
+        Printf.eprintf
+          "cclint: --typed: no .cmt files under %s/_build/default/lib — \
+           run `dune build` first\n"
+          root;
+        exit 2
+      end;
+      if have_cmts then Some (Ccdeps.Typed.run ~root) else None
+    end
+  in
+  let result = Srclint.Engine.run ?rules ~allowlist ?typed ~root () in
   if result.Srclint.Engine.files_scanned = 0 then begin
     Printf.eprintf
       "cclint: no .ml files under %s/{lib,bin,bench,test} — wrong --root?\n"
       root;
     exit 2
   end;
-  if json then print_string (Srclint.Report.json result)
-  else print_string (Srclint.Report.text result);
-  if Srclint.Engine.has_findings ~werror result.Srclint.Engine.diagnostics
-  then exit 1
+  if prune_flag then prune ~root ~allowlist_path result
+  else begin
+    if json then print_string (Srclint.Report.json result)
+    else print_string (Srclint.Report.text result);
+    if Srclint.Engine.has_findings ~werror result.Srclint.Engine.diagnostics
+    then exit 1
+  end
 
 let term =
   Term.(
     const run $ root_arg $ werror_arg $ json_arg $ rules_arg $ allowlist_arg
-    $ no_allowlist_arg $ list_rules_arg)
+    $ no_allowlist_arg $ list_rules_arg $ typed_arg $ no_typed_arg
+    $ prune_arg)

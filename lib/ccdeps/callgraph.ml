@@ -1,0 +1,161 @@
+(* The cross-module value-level call graph over every summarized def.
+
+   Nodes are canonical def names ("Ccplace.Spiral.place"); edges are the
+   references each def body makes, with bare (module-sibling) names
+   resolved against the enclosing scope chain.  Reachability runs as a
+   reverse-edge fixpoint with parent pointers, so every verdict can name
+   the concrete call chain that justifies it. *)
+
+type t = {
+  defs : (string, Summary.def) Hashtbl.t;
+  toplevel : (string, unit) Hashtbl.t;  (* scope-qualified value names *)
+}
+
+let build (mods : Summary.moddef list) =
+  let defs = Hashtbl.create 512 in
+  let toplevel = Hashtbl.create 512 in
+  List.iter
+    (fun m ->
+       Summary.SS.iter
+         (fun n -> Hashtbl.replace toplevel n ())
+         m.Summary.m_toplevel;
+       List.iter
+         (fun d ->
+            (* First binding wins: duplicate names (shadowed top-level
+               bindings) keep the earliest def, matching lookup order
+               being irrelevant for reachability. *)
+            if not (Hashtbl.mem defs d.Summary.d_name) then
+              Hashtbl.replace defs d.Summary.d_name d)
+         m.Summary.m_defs)
+    mods;
+  { defs; toplevel }
+
+let find t name = Hashtbl.find_opt t.defs name
+
+(* A bare name inside [scope] may refer to a top-level sibling of that
+   scope or of any enclosing module scope; try innermost-out. *)
+let resolve_local t ~scope n =
+  let rec up scope =
+    let candidate = scope ^ "." ^ n in
+    if Hashtbl.mem t.toplevel candidate then Some candidate
+    else begin
+      match String.rindex_opt scope '.' with
+      | Some i -> up (String.sub scope 0 i)
+      | None -> None
+    end
+  in
+  up scope
+
+(* Resolve one reference made by [def] to a canonical def name, when it
+   lands on an analyzed def at all (stdlib and external libraries do
+   not). *)
+let resolve t (def : Summary.def) (rname : Names.name) =
+  match rname with
+  | Names.Local n -> begin
+      (* A name the def binds itself (parameter, inner let) shadows any
+         same-named module sibling — no edge. *)
+      if Summary.SS.mem n def.Summary.d_bound then None
+      else begin
+        match resolve_local t ~scope:def.Summary.d_scope n with
+        | Some name when name <> def.Summary.d_name -> find t name
+        | _ -> None
+      end
+    end
+  | Names.Global g -> begin
+      match find t g with
+      | Some _ as r -> r
+      | None -> begin
+          (* Dotted references to a nested module of the same unit are
+             scope-relative ("Impl.stamp" inside Fixkern, not
+             "Fixkern.Impl.stamp"); qualify against the scope chain. *)
+          match resolve_local t ~scope:def.Summary.d_scope g with
+          | Some name when name <> def.Summary.d_name -> find t name
+          | _ -> None
+        end
+    end
+
+(* Callees of [def], deduplicated, in first-reference order, each with
+   the line of the first reference.  [keep] filters the *name* before
+   resolution (the trust boundary). *)
+let callees t ?(keep = fun _ -> true) (def : Summary.def) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Summary.refr) ->
+       match resolve t def r.Summary.rname with
+       | Some callee
+         when keep callee.Summary.d_name
+              && not (Hashtbl.mem seen callee.Summary.d_name) ->
+         Hashtbl.replace seen callee.Summary.d_name ();
+         Some (callee, r.Summary.rline)
+       | _ -> None)
+    def.Summary.d_refs
+
+(* [reach t ~keep ~seeds] : reverse-BFS reachability.  [seeds] are
+   (def-name, why) facts; the result maps every def that can reach a
+   seed through calls to its next hop (callee name, call line) — or to
+   the seed's own [why] when the def is itself a seed.  Deterministic:
+   seeds and frontier expansion process in sorted name order, and the
+   first hop recorded for a def wins. *)
+type 'a verdict =
+  | Seed of 'a
+  | Via of string * int  (* next callee toward a seed, call line *)
+
+let reach t ~keep ~seeds =
+  (* Reverse edges once: callee name -> (caller def, call line) list. *)
+  let rev = Hashtbl.create 512 in
+  let names =
+    Hashtbl.fold (fun n _ acc -> n :: acc) t.defs []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun n ->
+       match find t n with
+       | None -> ()
+       | Some d ->
+         if keep d.Summary.d_name then
+           List.iter
+             (fun (callee, line) ->
+                Hashtbl.add rev callee.Summary.d_name (d, line))
+             (callees t ~keep d))
+    names;
+  let verdicts = Hashtbl.create 64 in
+  let frontier = Queue.create () in
+  List.iter
+    (fun (name, why) ->
+       if not (Hashtbl.mem verdicts name) then begin
+         Hashtbl.replace verdicts name (Seed why);
+         Queue.add name frontier
+       end)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) seeds);
+  while not (Queue.is_empty frontier) do
+    let callee = Queue.pop frontier in
+    let callers =
+      Hashtbl.find_all rev callee
+      |> List.sort
+           (fun ((a : Summary.def), la) (b, lb) ->
+              match String.compare a.Summary.d_name b.Summary.d_name with
+              | 0 -> Int.compare la lb
+              | c -> c)
+    in
+    List.iter
+      (fun ((caller : Summary.def), line) ->
+         if not (Hashtbl.mem verdicts caller.Summary.d_name) then begin
+           Hashtbl.replace verdicts caller.Summary.d_name
+             (Via (callee, line));
+           Queue.add caller.Summary.d_name frontier
+         end)
+      callers
+  done;
+  verdicts
+
+(* [chain verdicts name] walks hop pointers down to the seed, returning
+   the node names in call order (starting at [name]) and the seed's
+   payload. *)
+let chain verdicts name =
+  let rec go acc name =
+    match Hashtbl.find_opt verdicts name with
+    | Some (Seed why) -> Some (List.rev (name :: acc), why)
+    | Some (Via (next, _)) -> go (name :: acc) next
+    | None -> None
+  in
+  go [] name

@@ -1,0 +1,38 @@
+(** The cross-module value-level call graph over summarized defs, with
+    reverse-reachability machinery that remembers call chains. *)
+
+type t
+
+val build : Summary.moddef list -> t
+
+(** [find t name] looks up a def by canonical name. *)
+val find : t -> string -> Summary.def option
+
+(** [resolve t def rname] resolves one reference [def] makes — bare
+    names against the enclosing scope chain, dotted names against the
+    def table — to an analyzed def, if it is one. *)
+val resolve : t -> Summary.def -> Names.name -> Summary.def option
+
+(** [callees t ?keep def]: resolved callees in first-reference order
+    with the line of the first call; [keep] filters callee names before
+    resolution (the trust boundary). *)
+val callees :
+  t -> ?keep:(string -> bool) -> Summary.def ->
+  (Summary.def * int) list
+
+(** How a def reaches a seed fact. *)
+type 'a verdict =
+  | Seed of 'a
+  | Via of string * int  (** next callee toward a seed, call line *)
+
+(** [reach t ~keep ~seeds] maps every def name that transitively reaches
+    a seed (through [keep]-passing edges) to its verdict.
+    Deterministic. *)
+val reach :
+  t -> keep:(string -> bool) -> seeds:(string * 'a) list ->
+  (string, 'a verdict) Hashtbl.t
+
+(** [chain verdicts name] is the call chain from [name] down to a seed
+    and the seed's payload. *)
+val chain :
+  (string, 'a verdict) Hashtbl.t -> string -> (string list * 'a) option

@@ -1,0 +1,226 @@
+(* Per-module value summaries extracted from one .cmt Typedtree: for
+   every top-level binding, the identifiers it references, the names it
+   binds, the in-place writes it performs and the Par.Pool submissions
+   it makes.  Everything downstream (call graph, taint, escape,
+   layering) works on these records — the Typedtree is dropped as soon
+   as a module is summarized, which keeps whole-program passes cheap. *)
+
+module SS = Set.Make (String)
+
+type target =
+  | Tlocal of string   (* bare identifier *)
+  | Tglobal of string  (* dotted, normalized *)
+  | Tanon              (* a compound expression; not trackable *)
+
+type mutation = {
+  op : string;      (* ":=", "Hashtbl.replace", "<- (field set)", ... *)
+  target : target;
+  mline : int;
+}
+
+type refr = {
+  rname : Names.name;
+  rline : int;
+}
+
+(* What one expression walk accumulates; a pool-task closure gets its
+   own [walked] so escapes can be judged against the names bound inside
+   the closure alone. *)
+type walked = {
+  c_bound : SS.t;
+  c_mutations : mutation list;
+  c_refs : refr list;
+}
+
+type fn_arg =
+  | Fn_closure of walked
+  | Fn_ref of Names.name
+  | Fn_unknown
+
+type pool_site = {
+  entry : string;   (* "Par.Pool.map_list_exn", ... *)
+  sline : int;
+  fn : fn_arg;
+}
+
+type def = {
+  d_name : string;   (* canonical, e.g. "Ccplace.Spiral.place" *)
+  d_scope : string;  (* enclosing module path, e.g. "Ccplace.Spiral" *)
+  d_lib : string;    (* lib/ dir name, e.g. "ccplace" *)
+  d_file : string;   (* repo-relative source, e.g. "lib/ccplace/spiral.ml" *)
+  d_line : int;
+  d_refs : refr list;
+  d_bound : SS.t;
+  d_mutations : mutation list;
+  d_pool_sites : pool_site list;
+}
+
+type moddef = {
+  m_name : string;  (* canonical module, e.g. "Ccplace.Spiral" *)
+  m_lib : string;
+  m_file : string;
+  m_defs : def list;
+  m_toplevel : SS.t;  (* scope-qualified top-level value names *)
+}
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let target_of (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> begin
+      match Names.of_path p with
+      | Names.Local n -> Tlocal n
+      | Names.Global n -> Tglobal n
+    end
+  | _ -> Tanon
+
+let positional args =
+  List.filter_map
+    (fun (label, e) ->
+       match (label, e) with
+       | (Asttypes.Nolabel, Some e) -> Some e
+       | _ -> None)
+    args
+
+(* [walk ~on_site e] traverses one expression.  [on_site] receives
+   Par.Pool submissions when set; the closure argument of a site is
+   walked separately (without site collection — nested submissions
+   inside a task body belong to the callee defs the task invokes). *)
+let rec walk ?on_site e =
+  let refs = ref [] and bound = ref SS.empty and mutations = ref [] in
+  let expr_hook self (e : Typedtree.expression) =
+    let line = line_of e.Typedtree.exp_loc in
+    (match e.Typedtree.exp_desc with
+     | Typedtree.Texp_ident (p, _, _) ->
+       refs := { rname = Names.of_path p; rline = line } :: !refs
+     | Typedtree.Texp_setfield (obj, _, _, _) ->
+       mutations :=
+         { op = "<- (mutable field set)"; target = target_of obj;
+           mline = line }
+         :: !mutations
+     | Typedtree.Texp_apply (f, args) -> begin
+         match f.Typedtree.exp_desc with
+         | Typedtree.Texp_ident (p, _, _) -> begin
+             match Names.of_path p with
+             | Names.Global g ->
+               if Names.is_mutator g then begin
+                 match positional args with
+                 | tgt :: _ ->
+                   mutations :=
+                     { op = g; target = target_of tgt; mline = line }
+                     :: !mutations
+                 | [] -> ()
+               end;
+               (match (Names.pool_fn_index g, on_site) with
+                | (Some i, Some emit) -> begin
+                    match List.nth_opt (positional args) i with
+                    | Some fn_expr ->
+                      emit { entry = g; sline = line; fn = fn_of fn_expr }
+                    | None -> ()
+                  end
+                | _ -> ())
+             | Names.Local _ -> ()
+           end
+         | _ -> ()
+       end
+     | _ -> ());
+    Tast_iterator.default_iterator.Tast_iterator.expr self e
+  in
+  let pat_hook : type k.
+    Tast_iterator.iterator -> k Typedtree.general_pattern -> unit =
+    fun self p ->
+      (match p.Typedtree.pat_desc with
+       | Typedtree.Tpat_var (id, _) ->
+         bound := SS.add (Ident.name id) !bound
+       | Typedtree.Tpat_alias (_, id, _) ->
+         bound := SS.add (Ident.name id) !bound
+       | _ -> ());
+      Tast_iterator.default_iterator.Tast_iterator.pat self p
+  in
+  let it =
+    { Tast_iterator.default_iterator with
+      Tast_iterator.expr = expr_hook;
+      Tast_iterator.pat = pat_hook }
+  in
+  it.Tast_iterator.expr it e;
+  { c_bound = !bound; c_mutations = List.rev !mutations;
+    c_refs = List.rev !refs }
+
+and fn_of (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function _ -> Fn_closure (walk e)
+  | Typedtree.Texp_ident (p, _, _) -> Fn_ref (Names.of_path p)
+  | _ -> Fn_unknown
+
+let pattern_names pat =
+  let names = ref [] in
+  let pat_hook : type k.
+    Tast_iterator.iterator -> k Typedtree.general_pattern -> unit =
+    fun self p ->
+      (match p.Typedtree.pat_desc with
+       | Typedtree.Tpat_var (id, _) -> names := Ident.name id :: !names
+       | Typedtree.Tpat_alias (_, id, _) -> names := Ident.name id :: !names
+       | _ -> ());
+      Tast_iterator.default_iterator.Tast_iterator.pat self p
+  in
+  let it =
+    { Tast_iterator.default_iterator with Tast_iterator.pat = pat_hook }
+  in
+  it.Tast_iterator.pat it pat;
+  List.rev !names
+
+let of_structure ~lib ~modname ~file (str : Typedtree.structure) =
+  let canonical = Names.normalize modname in
+  let defs = ref [] in
+  let toplevel = ref SS.empty in
+  let rec item scope (si : Typedtree.structure_item) =
+    match si.Typedtree.str_desc with
+    | Typedtree.Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+           let names = pattern_names vb.Typedtree.vb_pat in
+           let name = match names with n :: _ -> n | [] -> "_" in
+           List.iter
+             (fun n -> toplevel := SS.add (scope ^ "." ^ n) !toplevel)
+             names;
+           let sites = ref [] in
+           let walked =
+             walk ~on_site:(fun s -> sites := s :: !sites)
+               vb.Typedtree.vb_expr
+           in
+           defs :=
+             { d_name = scope ^ "." ^ name;
+               d_scope = scope;
+               d_lib = lib;
+               d_file = file;
+               d_line = line_of vb.Typedtree.vb_loc;
+               d_refs = walked.c_refs;
+               d_bound = walked.c_bound;
+               d_mutations = walked.c_mutations;
+               d_pool_sites = List.rev !sites }
+             :: !defs)
+        vbs
+    | Typedtree.Tstr_module mb -> module_binding scope mb
+    | Typedtree.Tstr_recmodule mbs -> List.iter (module_binding scope) mbs
+    | _ -> ()
+  and module_binding scope (mb : Typedtree.module_binding) =
+    let sub =
+      match mb.Typedtree.mb_id with
+      | Some id -> scope ^ "." ^ Ident.name id
+      | None -> scope
+    in
+    module_expr sub mb.Typedtree.mb_expr
+  and module_expr scope (me : Typedtree.module_expr) =
+    match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_structure s ->
+      List.iter (item scope) s.Typedtree.str_items
+    | Typedtree.Tmod_constraint (me, _, _, _) -> module_expr scope me
+    | Typedtree.Tmod_functor (_, me) -> module_expr scope me
+    | _ -> ()
+  in
+  List.iter (item canonical) str.Typedtree.str_items;
+  { m_name = canonical;
+    m_lib = lib;
+    m_file = file;
+    m_defs = List.rev !defs;
+    m_toplevel = !toplevel }

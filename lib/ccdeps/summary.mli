@@ -1,0 +1,68 @@
+(** Per-module value summaries extracted from [.cmt] Typedtrees.
+
+    One {!def} per top-level binding: referenced identifiers, bound
+    names, in-place writes and [Par.Pool] submissions.  The call graph,
+    taint, escape and layering passes all consume these records. *)
+
+module SS : Set.S with type elt = string
+
+type target =
+  | Tlocal of string   (** bare identifier *)
+  | Tglobal of string  (** dotted, {!Names.normalize}d *)
+  | Tanon              (** compound expression; not trackable *)
+
+type mutation = {
+  op : string;
+  target : target;
+  mline : int;
+}
+
+type refr = {
+  rname : Names.name;
+  rline : int;
+}
+
+(** What one expression walk accumulates. *)
+type walked = {
+  c_bound : SS.t;
+  c_mutations : mutation list;
+  c_refs : refr list;
+}
+
+type fn_arg =
+  | Fn_closure of walked  (** a literal [fun] task — walked separately *)
+  | Fn_ref of Names.name  (** a named task function *)
+  | Fn_unknown
+
+type pool_site = {
+  entry : string;
+  sline : int;
+  fn : fn_arg;
+}
+
+type def = {
+  d_name : string;
+  d_scope : string;
+  d_lib : string;
+  d_file : string;
+  d_line : int;
+  d_refs : refr list;
+  d_bound : SS.t;
+  d_mutations : mutation list;
+  d_pool_sites : pool_site list;
+}
+
+type moddef = {
+  m_name : string;
+  m_lib : string;
+  m_file : string;
+  m_defs : def list;
+  m_toplevel : SS.t;
+}
+
+(** [of_structure ~lib ~modname ~file str] summarizes one module.
+    [modname] is the compilation-unit name (["Ccplace__Spiral"]);
+    [file] the repo-relative source path recorded in the cmt. *)
+val of_structure :
+  lib:string -> modname:string -> file:string -> Typedtree.structure ->
+  moddef

@@ -1,0 +1,17 @@
+(* In-process typechecking for test fixtures: the same Typedtree the
+   compiler would write to a .cmt, without invoking dune.  Fixtures that
+   stub [module Par = struct module Pool = ... end] locally produce the
+   exact "Par.Pool.map_list_exn" path spellings the real library does,
+   so the analyses can be pinned against small source strings. *)
+
+let structure ~file source =
+  Compmisc.init_path ();
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  let ast = Parse.implementation lexbuf in
+  let str, _sig, _names, _shape, _env = Typemod.type_structure env ast in
+  str
+
+let summarize ~lib ~modname ~file source =
+  Summary.of_structure ~lib ~modname ~file (structure ~file source)

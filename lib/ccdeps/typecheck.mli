@@ -1,0 +1,11 @@
+(** In-process typechecking for test fixtures — the Typedtree a [.cmt]
+    would hold, straight from a source string.  Raises the compiler's
+    own exceptions ([Typetexp.Error], [Typecore.Error], ...) on
+    ill-typed fixtures. *)
+
+val structure : file:string -> string -> Typedtree.structure
+
+(** [summarize ~lib ~modname ~file source] typechecks and summarizes in
+    one step. *)
+val summarize :
+  lib:string -> modname:string -> file:string -> string -> Summary.moddef

@@ -31,7 +31,16 @@ let unknown_rule_rule =
       "The allowlist entry names a rule the registry does not know — a \
        typo would otherwise suppress nothing, silently."
 
-let rules = [ stale_rule; missing_justification_rule; unknown_rule_rule ]
+let duplicate_rule =
+  Rule.make ~id:"meta/duplicate-suppression" ~category:Rule.Meta
+    ~severity:Rule.Error
+    ~doc:
+      "Two allowlist entries name the same (rule, path); only the first \
+       can ever match, so the second is dead weight that would otherwise \
+       read as stale nondeterministically.  Keep one entry."
+
+let rules = [ stale_rule; missing_justification_rule; unknown_rule_rule;
+              duplicate_rule ]
 
 let is_blank s = String.trim s = ""
 

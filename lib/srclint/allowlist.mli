@@ -12,7 +12,9 @@
     and an entry that suppresses nothing is itself an error
     ([meta/stale-suppression]) so suppressions cannot outlive their cause.
     An entry naming a rule the registry does not know is flagged too
-    ([meta/unknown-rule]) — typos must not silently suppress nothing. *)
+    ([meta/unknown-rule]) — typos must not silently suppress nothing —
+    and so is a second entry for the same (rule, path)
+    ([meta/duplicate-suppression]): only the first can ever match. *)
 
 type entry = {
   rule_id : string;
@@ -41,6 +43,7 @@ val load : string -> (t, string) result
 val stale_rule : Rule.t
 val missing_justification_rule : Rule.t
 val unknown_rule_rule : Rule.t
+val duplicate_rule : Rule.t
 
 (** The ["meta/"] rules the allowlist machinery can emit. *)
 val rules : Rule.t list

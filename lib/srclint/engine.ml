@@ -85,30 +85,46 @@ let apply_allowlist (allowlist : Allowlist.t) diags =
       fmt
   in
   let suppressions =
+    let seen = ref [] in
     List.map
       (fun (e : Allowlist.entry) ->
          let matched =
            List.length (List.filter (fun l -> l = e.Allowlist.line) matches)
          in
-         if e.Allowlist.justification = "" then
-           emit Allowlist.missing_justification_rule e
-             "suppression of %s in %s has no justification"
-             e.Allowlist.rule_id e.Allowlist.path;
-         if not (List.mem e.Allowlist.rule_id Registry.ids) then
-           emit Allowlist.unknown_rule_rule e "unknown rule %s"
-             e.Allowlist.rule_id
-         else if matched = 0 then
-           emit Allowlist.stale_rule e
-             "stale suppression: no %s finding in %s" e.Allowlist.rule_id
-             e.Allowlist.path;
+         let key = (e.Allowlist.rule_id, e.Allowlist.path) in
+         if List.mem key !seen then
+           (* A later duplicate can never match (the first entry wins in
+              [suppressed_by]), so it gets exactly this one diagnostic —
+              not a coin-flip between duplicate and stale. *)
+           emit Allowlist.duplicate_rule e
+             "duplicate suppression of %s in %s (an earlier entry already \
+              covers it)"
+             e.Allowlist.rule_id e.Allowlist.path
+         else begin
+           seen := key :: !seen;
+           if e.Allowlist.justification = "" then
+             emit Allowlist.missing_justification_rule e
+               "suppression of %s in %s has no justification"
+               e.Allowlist.rule_id e.Allowlist.path;
+           if not (List.mem e.Allowlist.rule_id Registry.ids) then
+             emit Allowlist.unknown_rule_rule e "unknown rule %s"
+               e.Allowlist.rule_id
+           else if matched = 0 then
+             emit Allowlist.stale_rule e
+               "stale suppression: no %s finding in %s" e.Allowlist.rule_id
+               e.Allowlist.path
+         end;
          { entry = e; matched })
       allowlist.Allowlist.entries
   in
   (List.rev kept @ List.rev !meta, suppressions)
 
-let run ?rules ?(allowlist = Allowlist.empty) ~root () =
+let run ?rules ?(allowlist = Allowlist.empty) ?typed ~root () =
   let files = ml_files ~root in
-  let diags = List.concat_map (fun path -> check_file ~root path) files in
+  let diags =
+    List.concat_map (fun path -> check_file ~root path) files
+    @ Option.value typed ~default:[]
+  in
   let selected id =
     match rules with
     | None -> true
@@ -117,11 +133,19 @@ let run ?rules ?(allowlist = Allowlist.empty) ~root () =
   let diags =
     List.filter (fun d -> selected d.Diagnostic.rule.Rule.id) diags
   in
+  (* When the typed pass did not run (no .cmt files around, or
+     --no-typed), its allowlist entries must not read as stale: the
+     violations they excuse were never looked for this run.  A typed run
+     that found nothing ([typed = Some []]) stale-checks them normally. *)
+  let typed_ran = typed <> None in
   let allowlist =
     { allowlist with
       Allowlist.entries =
         List.filter
-          (fun (e : Allowlist.entry) -> selected e.Allowlist.rule_id)
+          (fun (e : Allowlist.entry) ->
+             selected e.Allowlist.rule_id
+             && (typed_ran
+                 || not (Typed_rules.is_typed_rule_id e.Allowlist.rule_id)))
           allowlist.Allowlist.entries }
   in
   let diagnostics, suppressions = apply_allowlist allowlist diags in

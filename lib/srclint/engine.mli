@@ -40,16 +40,22 @@ val check_file : root:string -> string -> Diagnostic.t list
 
 (** [apply_allowlist allowlist diags] splits [diags] into kept findings
     and per-entry suppression counts, and appends the ["meta/"] findings
-    (stale entry, missing justification, unknown rule). *)
+    (stale entry, missing justification, unknown rule, duplicate
+    entry). *)
 val apply_allowlist :
   Allowlist.t -> Diagnostic.t list -> Diagnostic.t list * suppression list
 
-(** [run ?rules ?allowlist ~root ()] is the whole analysis.  [rules]
-    filters findings (and allowlist entries) to the selected ids —
-    see {!Registry.matches}; default everything.  [allowlist] defaults to
-    {!Allowlist.empty}. *)
+(** [run ?rules ?allowlist ?typed ~root ()] is the whole analysis.
+    [rules] filters findings (and allowlist entries) to the selected ids
+    — see {!Registry.matches}; default everything.  [allowlist] defaults
+    to {!Allowlist.empty}.  [typed] carries the diagnostics of the typed
+    whole-program pass (lib/ccdeps), which the engine merges before
+    filtering and suppression; [None] means the pass did not run, and
+    then allowlist entries for ["int/"]/["arch/"] rules are exempt from
+    the stale check (their findings were never looked for). *)
 val run :
-  ?rules:string list -> ?allowlist:Allowlist.t -> root:string -> unit -> result
+  ?rules:string list -> ?allowlist:Allowlist.t ->
+  ?typed:Diagnostic.t list -> root:string -> unit -> result
 
 (** [has_findings ?werror diags]: any error, or any warning under
     [~werror:true]. *)

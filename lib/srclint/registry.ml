@@ -1,7 +1,7 @@
 let all =
   let rules =
     Det_rules.rules @ Domain_rules.rules @ Error_rules.rules
-    @ Hygiene_rules.rules @ Allowlist.rules
+    @ Hygiene_rules.rules @ Typed_rules.rules @ Allowlist.rules
     @ [ Source.parse_error_rule ]
   in
   let sorted =

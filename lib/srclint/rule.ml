@@ -5,6 +5,8 @@ type category =
   | Domain_safety
   | Error_handling
   | Hygiene
+  | Interprocedural
+  | Architecture
   | Meta
 
 type t = {
@@ -32,6 +34,8 @@ let category_name = function
   | Domain_safety -> "domain-safety"
   | Error_handling -> "error-handling"
   | Hygiene -> "hygiene"
+  | Interprocedural -> "interprocedural"
+  | Architecture -> "architecture"
   | Meta -> "meta"
 
 let pp_severity ppf s = Format.pp_print_string ppf (severity_name s)

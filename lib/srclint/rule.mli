@@ -18,6 +18,12 @@ type category =
   | Domain_safety   (** global mutable state, domain-local storage *)
   | Error_handling  (** swallowed exceptions, traps, exits *)
   | Hygiene         (** polymorphic compare, stray printing, [Obj] *)
+  | Interprocedural
+      (** whole-program effect taint and domain-escape findings from the
+          typed ([.cmt]) pass — [lib/ccdeps] *)
+  | Architecture
+      (** layering-contract findings over the [lib/] sublibrary DAG,
+          also from the typed pass *)
   | Meta            (** the analyzer's own bookkeeping (allowlist, parse) *)
 
 type t = {
@@ -38,7 +44,8 @@ val compare_severity : severity -> severity -> int
 val severity_name : severity -> string
 
 (** [category_name c] is ["determinism"], ["domain-safety"],
-    ["error-handling"], ["hygiene"] or ["meta"]. *)
+    ["error-handling"], ["hygiene"], ["interprocedural"],
+    ["architecture"] or ["meta"]. *)
 val category_name : category -> string
 
 val pp_severity : Format.formatter -> severity -> unit

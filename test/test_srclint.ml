@@ -252,6 +252,37 @@ let test_allowlist_unknown_rule () =
     [ "meta/unknown-rule" ]
     (Srclint.Diagnostic.rule_ids kept)
 
+let test_allowlist_duplicate () =
+  let allowlist =
+    parse_allowlist
+      "det/wall-clock lib/fake/kernel.ml : capture time is the payload\n\
+       det/wall-clock lib/fake/kernel.ml : duplicate of the entry above\n"
+  in
+  let kept, sups =
+    run_with_allowlist allowlist lib_path "let now () = Unix.gettimeofday ()"
+  in
+  (* The later duplicate gets exactly one deterministic diagnostic — not
+     a coin-flip between duplicate and stale. *)
+  Alcotest.(check (list string)) "duplicate entry is itself an error"
+    [ "meta/duplicate-suppression" ]
+    (Srclint.Diagnostic.rule_ids kept);
+  (match sups with
+   | [ first; second ] ->
+     Alcotest.(check int) "first entry matches" 1
+       first.Srclint.Engine.matched;
+     Alcotest.(check int) "duplicate can never match" 0
+       second.Srclint.Engine.matched
+   | _ -> Alcotest.fail "expected two suppression records");
+  let dup =
+    List.find
+      (fun (d : Srclint.Diagnostic.t) ->
+         d.Srclint.Diagnostic.rule.Srclint.Rule.id
+         = "meta/duplicate-suppression")
+      kept
+  in
+  Alcotest.(check int) "anchored at the duplicate's line" 2
+    dup.Srclint.Diagnostic.line
+
 let test_allowlist_malformed () =
   match Srclint.Allowlist.parse_string ~file:".cclint" "just-one-token\n" with
   | Ok _ -> Alcotest.fail "malformed entry accepted"
@@ -370,6 +401,7 @@ let () =
           Alcotest.test_case "missing justification" `Quick
             test_allowlist_missing_justification;
           Alcotest.test_case "unknown rule" `Quick test_allowlist_unknown_rule;
+          Alcotest.test_case "duplicate entry" `Quick test_allowlist_duplicate;
           Alcotest.test_case "malformed line" `Quick test_allowlist_malformed;
           Alcotest.test_case "committed entries justified" `Quick
             test_committed_allowlist_is_justified ] );
