@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test lint devlint ccdeps lvs bench profile memprofile qor doc clean examples
+.PHONY: all build test lint devlint ccdeps lvs bench profile memprofile scale qor doc clean examples
 
 all: build
 
@@ -53,6 +53,14 @@ profile: build
 memprofile: build
 	dune exec bin/ccgen.exe -- profile --bits 6,8 --mem
 	dune exec bin/ccgen.exe -- profile --bits 6,8 --mem --json > profile_mem.json
+
+# Cross-bit-width scaling probe (docs/BENCH.md): run the flow over a
+# small bit ladder at jobs=4 with scheduler telemetry on and fit
+# per-stage growth exponents; scaling.json is what CI uploads as an
+# artifact.
+scale: build
+	dune exec bin/ccgen.exe -- scale --bits 6,8,10 --trials 50 --jobs 4
+	dune exec bin/ccgen.exe -- scale --bits 6,8,10 --trials 50 --jobs 4 --json > scaling.json
 
 # QoR regression sentinel (docs/QOR.md): record the default matrix to
 # the ledger, then diff the ledger's latest records against the

@@ -5,7 +5,7 @@
      dune exec bench/main.exe              all tables, figures, benchmarks
      dune exec bench/main.exe -- table1    one artefact
        (table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b ablation bench
-        benchflow baseline csv)
+        benchflow baseline memscale scaling csv)
 
    The file-writing artefacts (benchflow, baseline) take --out FILE to
    redirect their output; exactly one of them must be requested when
@@ -315,6 +315,54 @@ let memscale () =
   Printf.printf "appended %s and %s to %s\n" r_lo.Qor.Record.label
     r_hi.Qor.Record.label path
 
+(* --- scaling: the cross-bit-width growth-exponent probe (Ccdac.Scaling;
+   docs/BENCH.md).  Three rungs of the full flow + Monte-Carlo with
+   scheduler recording on, fitted per-stage log-log exponents, and one
+   QoR ledger row carrying the exponents and the pool figures.  The row
+   gets a "scaling"-prefixed label so it never shadows the plain flow
+   records in latest-by-label comparisons. *)
+
+let scaling_bits = [ 6; 8; 10 ]
+
+let scaling () =
+  let path = out_path "qor_ledger.jsonl" in
+  banner
+    (Printf.sprintf "scaling: spiral flow ladder at %s bits"
+       (String.concat "/" (List.map string_of_int scaling_bits)));
+  let jobs = max 2 (Par.Jobs.default ()) in
+  (* the flow stages read the ambient jobs default; restore the
+     environment-driven resolution afterwards so later artefacts keep
+     their usual (serial unless CCDAC_JOBS says otherwise) timings *)
+  Par.Jobs.set_default jobs;
+  let t =
+    Fun.protect ~finally:Par.Jobs.clear_default @@ fun () ->
+    Par.Sched.with_enabled true @@ fun () ->
+    Ccdac.Scaling.run ~tech ~trials:60 ~seed:1 ~jobs scaling_bits
+  in
+  Format.printf "%a@." Ccdac.Scaling.pp t;
+  let sched = Ccdac.Scaling.sched_totals t in
+  let record =
+    match List.rev t.Ccdac.Scaling.points with
+    | [] -> assert false (* run rejects an empty ladder *)
+    | top :: _ ->
+      let r =
+        Qor.Record.with_scaling
+          ~stage_exponent:(Ccdac.Scaling.exponents t)
+          ~sched_utilization:sched.Par.Sched.mean_utilization
+          ~sched_queue_depth_max:sched.Par.Sched.max_queue_depth
+          ~sched_caller_blocked_s:sched.Par.Sched.caller_blocked_s
+          (Qor.Record.of_result ~jobs top.Ccdac.Scaling.p_result)
+      in
+      { r with Qor.Record.label = "scaling " ^ r.Qor.Record.label }
+  in
+  (try Qor.Ledger.append ~path record
+   with Sys_error e -> write_failed path e);
+  Printf.printf "appended %s (%d fitted stages, %d rungs) to %s\n"
+    record.Qor.Record.label
+    (List.length record.Qor.Record.stage_exponent)
+    (List.length t.Ccdac.Scaling.points)
+    path
+
 let bench () =
   banner "Bechamel: constructive P&R kernels (ns/run)";
   let ols =
@@ -587,9 +635,9 @@ let artefacts =
     ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6a", fig6a); ("fig6b", fig6b); ("ablation", ablation);
     ("bench", bench); ("benchflow", benchflow); ("baseline", baseline);
-    ("memscale", memscale); ("csv", csv) ]
+    ("memscale", memscale); ("scaling", scaling); ("csv", csv) ]
 
-let out_writers = [ "benchflow"; "baseline"; "memscale" ]
+let out_writers = [ "benchflow"; "baseline"; "memscale"; "scaling" ]
 
 let () =
   let rec parse names = function

@@ -7,6 +7,7 @@
      ccgen tables                          regenerate the paper's tables
      ccgen sweep   -b 8                    parallel-wire sweep (Fig. 6a)
      ccgen profile -b 6,8 --json           per-stage time/metric breakdown
+     ccgen scale   -b 6,8,10,12 -j 4       cross-bit-width scaling probe
      ccgen lvs     --all --werror          sweepline connectivity certification
      ccgen record  -b 6,8                  append QoR records to the ledger
      ccgen diff    --baseline FILE         regression sentinel vs baseline
@@ -699,7 +700,14 @@ let profile_cmd =
       exit 2
     end;
     List.iter check_bits bits_list;
-    let medians, dump =
+    (* Scheduler recording is on for the whole profile: when --jobs sends
+       work through Par.Pool, the run picks up sched/* metrics, the
+       per-worker sched.chunk tracks in the --trace file, and the
+       scheduler section below.  Serial profiles record no batches and
+       the section stays silent. *)
+    let (medians, dump), sched_batches =
+      Par.Sched.with_enabled true @@ fun () ->
+      Par.Sched.collect @@ fun () ->
       Telemetry.Memory.with_enabled mem @@ fun () ->
       Telemetry.Metrics.collect @@ fun () ->
       with_trace trace @@ fun () ->
@@ -714,6 +722,7 @@ let profile_cmd =
              styles)
         bits_list
     in
+    let sched = Par.Sched.summarize sched_batches in
     if json then begin
       let open Telemetry.Json in
       print_endline
@@ -723,6 +732,9 @@ let profile_cmd =
                 ("tech", Str tech.Tech.Process.name);
                 ("repeat", Num (float_of_int repeat));
                 ("runs", Arr (List.map json_of_run medians));
+                ( "sched",
+                  if sched.Par.Sched.batches = 0 then Null
+                  else Par.Sched.summary_to_json sched );
                 ("metrics", Telemetry.Metrics.to_json dump) ]))
     end
     else begin
@@ -786,18 +798,75 @@ let profile_cmd =
                (q 0.99))
           dists
       end;
+      if sched.Par.Sched.batches > 0 then
+        Format.printf "scheduler: %a@." Par.Sched.pp_summary sched;
       print_metrics metrics_fmt dump
     end
   in
   let doc =
     "Profile the flow over a (style, bits) matrix: per-stage wall time and \
      layout metrics, with optional GC sampling ($(b,--mem)), Chrome trace \
-     and metrics dump."
+     and metrics dump.  With $(b,--jobs) > 1 the report also carries the \
+     Par.Pool scheduler summary (docs/PARALLEL.md)."
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bits_list_arg $ styles_arg $ gran_arg $ tech_arg
           $ repeat_arg $ json_arg $ mem_arg $ verbose_arg $ trace_arg
           $ metrics_arg $ jobs_arg)
+
+(* --- scale: cross-bit-width scaling probe --- *)
+
+let scale_cmd =
+  let bits_list_arg =
+    let doc =
+      "Comma-separated bit-width ladder to probe (each in [2, 14]); the \
+       growth exponents are fitted across these rungs."
+    in
+    Arg.(value & opt (list int) [ 6; 8; 10; 12 ]
+         & info [ "b"; "bits" ] ~docv:"N,.." ~doc)
+  in
+  let trials_arg =
+    let doc = "Monte-Carlo trials for the mc stage of each rung." in
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T" ~doc)
+  in
+  let seed_arg =
+    let doc = "Monte-Carlo seed (fixed so ladders are reproducible)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the machine-readable scaling report (docs/BENCH.md)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run bits_list style granularity tech trials seed json verbose trace jobs
+      =
+    setup_logs verbose;
+    apply_jobs jobs;
+    List.iter check_bits bits_list;
+    if trials < 1 then begin
+      Printf.eprintf "ccgen: --trials must be >= 1\n";
+      exit 2
+    end;
+    let style_of_bits bits = resolve_style ~bits ~granularity style in
+    let t =
+      Par.Sched.with_enabled true @@ fun () ->
+      with_trace trace @@ fun () ->
+      Ccdac.Scaling.run ~tech ~style_of_bits ~trials ~seed ?jobs bits_list
+    in
+    if json then
+      print_endline (Telemetry.Json.to_string (Ccdac.Scaling.to_json t))
+    else Format.printf "%a@." Ccdac.Scaling.pp t
+  in
+  let doc =
+    "Run the full flow (plus a Monte-Carlo stage) across a bit-width ladder \
+     and fit per-stage log-log growth exponents against the unit-cell count \
+     — the scaling probe (docs/BENCH.md).  GC sampling is always on; \
+     scheduler recording is on, so with $(b,--jobs) > 1 the report carries \
+     pool utilization."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ bits_list_arg $ style_arg $ gran_arg $ tech_arg
+          $ trials_arg $ seed_arg $ json_arg $ verbose_arg $ trace_arg
+          $ jobs_arg)
 
 (* --- qor: record / diff / history / explain --- *)
 
@@ -1110,7 +1179,7 @@ let main =
   in
   Cmd.group (Cmd.info "ccgen" ~version:"1.0.0" ~doc)
     [ place_cmd; run_cmd; compare_cmd; tables_cmd; sweep_cmd; profile_cmd;
-      svg_cmd; mc_cmd; verify_cmd; lint_cmd; lvs_cmd; spectrum_cmd;
+      scale_cmd; svg_cmd; mc_cmd; verify_cmd; lint_cmd; lvs_cmd; spectrum_cmd;
       record_cmd; diff_cmd; history_cmd; explain_cmd; devlint_cmd ]
 
 (* The verification and LVS gates raise [Verify.Engine.Rejected] on a

@@ -18,6 +18,13 @@ val env_var : string
 (** [auto ()] is [Domain.recommended_domain_count ()], at least 1. *)
 val auto : unit -> int
 
+(** [of_string s] parses a jobs value the way [CCDAC_JOBS] is parsed:
+    whitespace is trimmed, ["0"] means auto, positive integers are taken
+    as-is, and anything else (empty, negative, non-numeric) is [None] —
+    an unparseable environment value falls through to serial rather than
+    erroring. *)
+val of_string : string -> int option
+
 (** [set_default n] installs the process-wide default ([n <= 0] = auto). *)
 val set_default : int -> unit
 

@@ -1,0 +1,93 @@
+(** Scheduler telemetry for {!Pool}: per-chunk
+    enqueue→dequeue→completion timestamps, queue-depth samples, and
+    batch-level stall/imbalance summaries (docs/PARALLEL.md).
+
+    Off by default.  {!Pool.map} reads {!enabled} exactly once per
+    batch (one atomic read — the {!Telemetry.Memory} discipline), and
+    the instrumentation is a pure observer: batch results are bitwise
+    identical with it on or off at any worker count.
+
+    When on, every instrumented batch is delivered to all open
+    {!collect} scopes and, when a {!Telemetry.Metrics} scope is active
+    in the submitting domain, recorded against the [sched/*] registry
+    ids.  Each chunk also runs inside a ["sched.chunk"] span, so a
+    Chrome trace shows per-worker chunk slices ({!Telemetry.Sink}). *)
+
+(** One executed work chunk. *)
+type chunk = {
+  c_batch : int;         (** id of the batch this chunk belongs to *)
+  c_index : int;         (** position within the batch, 0-based *)
+  c_items : int;         (** tasks the chunk covers *)
+  c_enqueued_ns : int64; (** batch submission time (shared by the batch) *)
+  c_started_ns : int64;  (** dequeue: an executor picked the chunk up *)
+  c_finished_ns : int64; (** last task of the chunk completed *)
+  c_domain : int;        (** id of the domain that executed it *)
+  c_by_caller : bool;    (** executed by the submitting domain itself *)
+  c_queue_depth : int;   (** chunks still queued right after this dequeue *)
+}
+
+(** One instrumented {!Pool.map} batch. *)
+type batch = {
+  b_id : int;
+  b_jobs : int;             (** pool size (requested concurrency) *)
+  b_workers : int;          (** worker domains alive when it ran *)
+  b_items : int;
+  b_chunks : chunk list;    (** in chunk order *)
+  b_wall_s : float;         (** submission to last completion *)
+  b_caller_blocked_s : float;
+      (** caller asleep on the batch barrier with an empty queue *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [with_enabled b f] runs [f] with recording set to [b], restored
+    afterwards. *)
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** [collect f] returns [f ()] plus every batch recorded during it, in
+    completion order.  Scopes may nest; batches recorded from worker
+    domains (nested maps) are delivered too. *)
+val collect : (unit -> 'a) -> 'a * batch list
+
+(** {2 Derived figures} *)
+
+val chunk_exec_s : chunk -> float
+val chunk_wait_s : chunk -> float
+
+(** Total chunk execution time of the batch, over all executors. *)
+val busy_s : batch -> float
+
+(** Slowest-chunk tail: max over mean chunk execution time ([1.0] =
+    perfectly balanced; [1.0] for empty or zero-time batches). *)
+val imbalance : batch -> float
+
+(** Busy fraction: {!busy_s} over [jobs] x wall, clamped to [0, 1]. *)
+val utilization : batch -> float
+
+(** {2 Aggregation} *)
+
+type summary = {
+  batches : int;
+  chunks : int;
+  caller_chunks : int;       (** drained by their submitting domain *)
+  items : int;
+  wall_s : float;            (** sum of batch walls *)
+  busy_s : float;            (** sum of chunk execution times *)
+  caller_blocked_s : float;
+  max_queue_depth : int;
+  mean_utilization : float;  (** busy over total capacity; [nan] when
+                                 no batches ran *)
+  worst_imbalance : float;   (** [nan] when no batches ran *)
+}
+
+val summarize : batch list -> summary
+val summary_to_json : summary -> Telemetry.Json.t
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Pool-facing} — called by {!Pool.map}; not for general use. *)
+
+val next_batch_id : unit -> int
+
+(** Deliver a completed batch to collectors and the [sched/*] metrics. *)
+val record_batch : batch -> unit

@@ -27,6 +27,10 @@ type t = {
   area_um2 : float;
   verify_rules : string list;
   lvs_rules : string list;
+  stage_exponent : (string * float) list;
+  sched_utilization : float;
+  sched_queue_depth_max : int;
+  sched_caller_blocked_s : float;
   provenance : Provenance.t;
 }
 
@@ -119,7 +123,24 @@ let of_result ?(repeat = 1) ?(jobs = 1) ?(par_speedup = Float.nan)
         (Verify.Engine.check_artifacts r.Ccdac.Flow.layout);
     lvs_rules =
       Verify.Diagnostic.rule_ids (Lvs.Check.check r.Ccdac.Flow.layout);
+    stage_exponent = [];
+    sched_utilization = Float.nan;
+    sched_queue_depth_max = 0;
+    sched_caller_blocked_s = Float.nan;
     provenance = Provenance.capture () }
+
+(* Scaling-probe decoration (bench scaling / ccgen scale): the fitted
+   per-stage growth exponents and the ladder's scheduler figures.  A
+   plain flow record leaves these at their neutral defaults, so ledger
+   rows without a scaling run stay unsampled for the qor/scaling_* and
+   qor/sched_* policies. *)
+let with_scaling ?(stage_exponent = []) ?(sched_utilization = Float.nan)
+    ?(sched_queue_depth_max = 0) ?(sched_caller_blocked_s = Float.nan) t =
+  { t with
+    stage_exponent;
+    sched_utilization;
+    sched_queue_depth_max;
+    sched_caller_blocked_s }
 
 let to_json t =
   Json.Obj
@@ -151,6 +172,12 @@ let to_json t =
       ("area_um2", Json.Num t.area_um2);
       ("verify_rules", Json.Arr (List.map (fun r -> Json.Str r) t.verify_rules));
       ("lvs_rules", Json.Arr (List.map (fun r -> Json.Str r) t.lvs_rules));
+      ( "stage_exponent",
+        Json.Obj (List.map (fun (n, s) -> (n, Json.Num s)) t.stage_exponent) );
+      ("sched_utilization", Json.Num t.sched_utilization);
+      ( "sched_queue_depth_max",
+        Json.Num (float_of_int t.sched_queue_depth_max) );
+      ("sched_caller_blocked_s", Json.Num t.sched_caller_blocked_s);
       ("provenance", Provenance.to_json t.provenance) ]
 
 let of_json j =
@@ -213,6 +240,10 @@ let of_json j =
         area_um2 = num "area_um2" Float.nan;
         verify_rules = List.sort_uniq String.compare (strs "verify_rules");
         lvs_rules = List.sort_uniq String.compare (strs "lvs_rules");
+        stage_exponent = stage_table "stage_exponent";
+        sched_utilization = num "sched_utilization" Float.nan;
+        sched_queue_depth_max = int "sched_queue_depth_max" 0;
+        sched_caller_blocked_s = num "sched_caller_blocked_s" Float.nan;
         provenance =
           (match Json.member "provenance" j with
            | Some p -> Provenance.of_json p

@@ -42,6 +42,17 @@ type t = {
   area_um2 : float;
   verify_rules : string list;  (** sorted rule ids fired by the linter *)
   lvs_rules : string list;     (** sorted rule ids fired by LVS *)
+  stage_exponent : (string * float) list;
+                               (** fitted per-stage growth exponents from
+                                   a {!Ccdac.Scaling} ladder — empty for
+                                   a plain flow record *)
+  sched_utilization : float;   (** {!Par.Sched} pool busy fraction over
+                                   the run ([nan] when not recorded) *)
+  sched_queue_depth_max : int; (** deepest observed chunk backlog (0 when
+                                   not recorded) *)
+  sched_caller_blocked_s : float;
+                               (** caller time asleep on batch barriers
+                                   ([nan] when not recorded) *)
   provenance : Provenance.t;
 }
 
@@ -64,6 +75,18 @@ val tech_hash : Tech.Process.t -> string
     {!Ccdac.Parbench} speedup — none of them rerun anything. *)
 val of_result :
   ?repeat:int -> ?jobs:int -> ?par_speedup:float -> Ccdac.Flow.result -> t
+
+(** [with_scaling ?stage_exponent ?sched_utilization ?sched_queue_depth_max
+    ?sched_caller_blocked_s t] decorates a record with the scaling-probe
+    and scheduler figures ({!Ccdac.Scaling}, {!Par.Sched.summary});
+    omitted arguments keep the neutral "not sampled" defaults. *)
+val with_scaling :
+  ?stage_exponent:(string * float) list ->
+  ?sched_utilization:float ->
+  ?sched_queue_depth_max:int ->
+  ?sched_caller_blocked_s:float ->
+  t ->
+  t
 
 val to_json : t -> Telemetry.Json.t
 

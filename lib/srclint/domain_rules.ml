@@ -23,7 +23,15 @@ let dls =
       "Domain-local storage is reserved for lib/telemetry and lib/par; \
        anywhere else it hides per-domain state the pool cannot propagate."
 
-let rules = [ global_ref; global_mutable; dls ]
+let spawn =
+  Rule.make ~id:"domain/spawn" ~category:Rule.Domain_safety
+    ~severity:Rule.Error
+    ~doc:
+      "Domain.spawn is reserved for lib/par: raw domains bypass the pool's \
+       ordering, fault-isolation, telemetry-inheritance and scheduler- \
+       observability contracts — go through Par.Pool instead."
+
+let rules = [ global_ref; global_mutable; dls; spawn ]
 
 let mutable_ctor_idents =
   [ "Hashtbl.create"; "Queue.create"; "Buffer.create"; "Stack.create";
@@ -111,5 +119,19 @@ let check (src : Source.t) =
           let name = Source.ident_name txt in
           if String.length name >= 11 && String.sub name 0 11 = "Domain.DLS."
           then emit dls e.pexp_loc ("use of " ^ name)
+        | _ -> ());
+  (* --- raw Domain.spawn outside the pool library --- *)
+  let spawn_allowed =
+    match src.Source.lib with
+    | Some lib -> String.equal lib "par"
+    | None -> src.Source.zone <> Source.Lib && src.Source.zone <> Source.Bin
+  in
+  if not spawn_allowed then
+    Source.iter_exprs src.Source.ast (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+          let name = Source.ident_name txt in
+          if String.equal name "Domain.spawn" then
+            emit spawn e.pexp_loc "use of Domain.spawn"
         | _ -> ());
   Diagnostic.sort !out

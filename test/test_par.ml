@@ -21,6 +21,19 @@ let test_jobs_resolution () =
   (* after clearing, resolution falls back to CCDAC_JOBS or 1 — both >= 1 *)
   Alcotest.(check bool) "cleared default >= 1" true (Par.Jobs.default () >= 1)
 
+let test_jobs_of_string () =
+  let check name expect s =
+    Alcotest.(check (option int)) name expect (Par.Jobs.of_string s)
+  in
+  check "positive" (Some 3) "3";
+  check "whitespace trimmed" (Some 4) "  4 ";
+  check "0 means auto" (Some (Par.Jobs.auto ())) "0";
+  check "empty" None "";
+  check "blank" None "   ";
+  check "negative" None "-2";
+  check "non-numeric" None "lots";
+  check "trailing junk" None "4x"
+
 (* --- Pool: ordering --- *)
 
 let test_pool_ordering () =
@@ -90,6 +103,50 @@ let test_pool_map_exn_raises () =
   | exception Par.Pool.Task_failed e ->
     Alcotest.(check int) "first failing index" 7 e.Par.Pool.index;
     Alcotest.(check bool) "exn preserved" true (e.Par.Pool.exn = Exit)
+
+(* --- Pool: failed tasks always carry a backtrace --- *)
+
+(* An out-of-line raiser the optimiser won't flatten away, so the
+   captured trace has at least one real frame. *)
+let[@inline never] deep_raise i =
+  if i >= 0 then failwith "sched backtrace probe" else ignore i
+
+let test_pool_backtrace () =
+  (* create enables backtrace recording on caller and workers, so the
+     error slot's backtrace is non-empty whichever domain ran the task *)
+  Par.Pool.with_ ~jobs:3 @@ fun pool ->
+  let results =
+    Par.Pool.map pool (fun i -> deep_raise i) (List.init 8 Fun.id)
+  in
+  List.iter
+    (fun r ->
+       match r with
+       | Ok () -> Alcotest.fail "task should have failed"
+       | Error e ->
+         Alcotest.(check bool) "backtrace captured" true
+           (String.length (String.trim e.Par.Pool.backtrace) > 0))
+    results
+
+(* --- Pool: stats (degraded-spawn detection + lifetime counters) --- *)
+
+let test_pool_stats () =
+  Par.Pool.with_ ~jobs:3 @@ fun pool ->
+  let s0 = Par.Pool.stats pool in
+  Alcotest.(check int) "requested" 3 s0.Par.Pool.requested;
+  Alcotest.(check int) "workers" (Par.Pool.worker_count pool)
+    s0.Par.Pool.workers;
+  (* spawn succeeds in-test, so the pool must not report degradation *)
+  Alcotest.(check bool) "not degraded" false s0.Par.Pool.degraded;
+  Alcotest.(check int) "no batches yet" 0 s0.Par.Pool.batches;
+  ignore (Par.Pool.map_exn pool (fun i -> i) (List.init 20 Fun.id));
+  ignore (Par.Pool.map_exn pool (fun i -> i) (List.init 20 Fun.id));
+  let s = Par.Pool.stats pool in
+  Alcotest.(check int) "two batches" 2 s.Par.Pool.batches;
+  Alcotest.(check bool) "chunks accumulated" true (s.Par.Pool.chunks >= 2);
+  (* single-item batches fall back to serial and are not counted *)
+  ignore (Par.Pool.map_exn pool (fun i -> i) [ 1 ]);
+  Alcotest.(check int) "serial fallback uncounted" 2
+    (Par.Pool.stats pool).Par.Pool.batches
 
 (* --- Pool: reentrancy (nested map on one pool must not deadlock) --- *)
 
@@ -243,13 +300,16 @@ let test_optimize_speculation () =
 let () =
   Alcotest.run "par"
     [ ( "jobs",
-        [ Alcotest.test_case "resolution order" `Quick test_jobs_resolution ] );
+        [ Alcotest.test_case "resolution order" `Quick test_jobs_resolution;
+          Alcotest.test_case "of_string edges" `Quick test_jobs_of_string ] );
       ( "pool",
         [ Alcotest.test_case "ordering" `Quick test_pool_ordering;
           Alcotest.test_case "matches serial" `Quick test_pool_matches_serial;
           Alcotest.test_case "fault isolation" `Quick test_pool_fault_isolation;
           Alcotest.test_case "map_exn raises first" `Quick
             test_pool_map_exn_raises;
+          Alcotest.test_case "task backtraces" `Quick test_pool_backtrace;
+          Alcotest.test_case "stats" `Quick test_pool_stats;
           Alcotest.test_case "nested map" `Quick test_pool_nested;
           Alcotest.test_case "metrics inheritance" `Quick
             test_pool_metrics_inheritance;

@@ -510,6 +510,70 @@ let test_diff_seeded_alloc_regression () =
     Alcotest.check verdict "regressed" Qor.Policy.Regressed
       (List.hd fs).Qor.Compare.verdict
 
+(* --- scaling/scheduler fields (Ccdac.Scaling / Par.Sched) --- *)
+
+let scaling_record =
+  lazy
+    (Qor.Record.with_scaling
+       ~stage_exponent:
+         [ ("place", 1.1); ("route", 0.9); ("extract", 1.3); ("total", 1.2) ]
+       ~sched_utilization:0.7 ~sched_queue_depth_max:5
+       ~sched_caller_blocked_s:0.01
+       (Lazy.force sampled_record))
+
+let test_scaling_record_roundtrip () =
+  let r = Lazy.force scaling_record in
+  match Qor.Record.of_json (Qor.Record.to_json r) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check int) "exponent table survives"
+      (List.length r.Qor.Record.stage_exponent)
+      (List.length r'.Qor.Record.stage_exponent);
+    check_float "extract exponent survives" 1.3
+      (List.assoc "extract" r'.Qor.Record.stage_exponent);
+    check_float "utilization survives" 0.7 r'.Qor.Record.sched_utilization;
+    Alcotest.(check int) "queue depth survives" 5
+      r'.Qor.Record.sched_queue_depth_max;
+    check_float "caller stall survives" 0.01
+      r'.Qor.Record.sched_caller_blocked_s
+
+(* a pre-scaling record (no exponents, NaN sched figures) diffs cleanly
+   against a decorated one: the scaling policies observe None and skip *)
+let test_scaling_compat_with_unsampled () =
+  let decorated = Lazy.force scaling_record in
+  let plain = Lazy.force sampled_record in
+  let check_clean ~baseline ~current =
+    let cmp = Qor.Compare.diff ~baseline:[ baseline ] ~current:[ current ] in
+    match Qor.Compare.gate ~werror:true cmp with
+    | Ok () -> ()
+    | Error fs ->
+      Alcotest.failf "mixed scaling diff failed the gate: %s"
+        (String.concat ", " (finding_ids fs))
+  in
+  check_clean ~baseline:plain ~current:decorated;
+  check_clean ~baseline:decorated ~current:plain
+
+(* the complexity-class sentinel: the WORST fitted exponent drifting past
+   the absolute tolerance is a Warning pinned to qor/scaling_exponent *)
+let test_diff_seeded_exponent_regression () =
+  let base = Lazy.force scaling_record in
+  let worse =
+    { base with
+      Qor.Record.stage_exponent =
+        [ ("place", 1.1); ("route", 0.9); ("extract", 1.9); ("total", 1.2) ] }
+  in
+  let cmp = Qor.Compare.diff ~baseline:[ base ] ~current:[ worse ] in
+  (match Qor.Compare.gate cmp with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "exponent drift must not fail a default gate");
+  match Qor.Compare.gate ~werror:true cmp with
+  | Ok () -> Alcotest.fail "a +0.6 worst exponent must fail under --werror"
+  | Error fs ->
+    Alcotest.(check (list string)) "pinned verdict id"
+      [ "qor/scaling_exponent" ] (finding_ids fs);
+    Alcotest.check verdict "regressed" Qor.Policy.Regressed
+      (List.hd fs).Qor.Compare.verdict
+
 let () =
   Alcotest.run "qor"
     [ ( "record",
@@ -547,6 +611,13 @@ let () =
             test_memory_compat_with_unsampled;
           Alcotest.test_case "seeded alloc regression" `Quick
             test_diff_seeded_alloc_regression ] );
+      ( "scaling",
+        [ Alcotest.test_case "decorated record roundtrip" `Quick
+            test_scaling_record_roundtrip;
+          Alcotest.test_case "undecorated compat" `Quick
+            test_scaling_compat_with_unsampled;
+          Alcotest.test_case "seeded exponent regression" `Quick
+            test_diff_seeded_exponent_regression ] );
       ( "explain",
         [ Alcotest.test_case "delay sums" `Quick test_explain_delay_sums;
           Alcotest.test_case "inl sums" `Quick test_explain_inl_sums;

@@ -95,6 +95,18 @@ let test_dls () =
   check_fired "DLS in par is sanctioned" [] "lib/par/fake.ml"
     "let v k = Domain.DLS.get k"
 
+let test_spawn () =
+  check_fired "Domain.spawn outside par" [ "domain/spawn" ] lib_path
+    "let d f = Domain.spawn f";
+  check_fired "Domain.spawn in bin too" [ "domain/spawn" ] "bin/tool.ml"
+    "let d f = Domain.spawn f";
+  check_fired "the pool library owns spawning" [] "lib/par/fake.ml"
+    "let d f = Domain.spawn f";
+  check_fired "tests may spawn for harness setup" [] "test/test_fake.ml"
+    "let d f = Domain.spawn f";
+  check_fired "joins and other Domain calls are fine" [] lib_path
+    "let j d = Domain.join d"
+
 (* --- error-handling rules --- *)
 
 let test_catchall_swallow () =
@@ -381,7 +393,8 @@ let () =
       ( "domain safety",
         [ Alcotest.test_case "global ref" `Quick test_global_ref;
           Alcotest.test_case "global mutable" `Quick test_global_mutable;
-          Alcotest.test_case "DLS scope" `Quick test_dls ] );
+          Alcotest.test_case "DLS scope" `Quick test_dls;
+          Alcotest.test_case "spawn scope" `Quick test_spawn ] );
       ( "error handling",
         [ Alcotest.test_case "catch-all swallow" `Quick test_catchall_swallow;
           Alcotest.test_case "assert false" `Quick test_assert_false;
