@@ -107,15 +107,19 @@ let source_kind name =
 
 (* --- in-place mutators ------------------------------------------------- *)
 
-(* Operations whose first positional argument is mutated in place.
+(* Operations that mutate a positional argument in place, paired with
+   the index of the argument they write — 0 for most, 1 for the sorts
+   ([Array.sort cmp a] mutates [a]; its first argument is the
+   comparator, which must not be mistaken for shared state).
    [Atomic.*] is deliberately absent: it is the sanctioned lock-free
    primitive, safe to share across worker domains. *)
 let mutators =
+  List.map
+    (fun name -> (name, 0))
   [ ":="; "incr"; "decr";
     "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset";
     "Hashtbl.clear"; "Hashtbl.filter_map_inplace";
     "Array.set"; "Array.fill"; "Array.blit"; "Array.unsafe_set";
-    "Array.sort"; "Array.fast_sort";
     "Bytes.set"; "Bytes.fill"; "Bytes.blit"; "Bytes.unsafe_set";
     "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
     "Buffer.add_buffer"; "Buffer.add_substring"; "Buffer.clear";
@@ -123,8 +127,10 @@ let mutators =
     "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear";
     "Queue.transfer";
     "Stack.push"; "Stack.pop"; "Stack.clear" ]
+  @ [ ("Array.sort", 1); ("Array.fast_sort", 1); ("Array.stable_sort", 1) ]
 
-let is_mutator name = List.mem name mutators
+let mutator_target_index name = List.assoc_opt name mutators
+let is_mutator name = mutator_target_index name <> None
 
 (* --- Par.Pool entry points -------------------------------------------- *)
 

@@ -35,9 +35,14 @@ val all_kinds : kind list
     [Random.*], [Sys.getenv], GC mutators, stdout/stderr printers). *)
 val source_kind : string -> kind option
 
-(** [is_mutator name]: the operation writes its first positional
-    argument in place ([:=], [Hashtbl.replace], [Array.set], ...).
+(** [mutator_target_index name] is [Some i] when the operation writes
+    its [i]-th positional argument in place — 0 for most ([:=],
+    [Hashtbl.replace], [Array.set], ...), 1 for the sorts, whose first
+    argument is the comparator ([Array.sort cmp a] mutates [a]).
     [Atomic.*] is deliberately not listed. *)
+val mutator_target_index : string -> int option
+
+(** [is_mutator name] is [mutator_target_index name <> None]. *)
 val is_mutator : string -> bool
 
 (** [pool_fn_index name] is [Some i] when [name] is a [Par.Pool] entry

@@ -103,14 +103,16 @@ let rec walk ?on_site e =
          | Typedtree.Texp_ident (p, _, _) -> begin
              match Names.of_path p with
              | Names.Global g ->
-               if Names.is_mutator g then begin
-                 match positional args with
-                 | tgt :: _ ->
-                   mutations :=
-                     { op = g; target = target_of tgt; mline = line }
-                     :: !mutations
-                 | [] -> ()
-               end;
+               (match Names.mutator_target_index g with
+                | Some i -> begin
+                    match List.nth_opt (positional args) i with
+                    | Some tgt ->
+                      mutations :=
+                        { op = g; target = target_of tgt; mline = line }
+                        :: !mutations
+                    | None -> ()
+                  end
+                | None -> ());
                (match (Names.pool_fn_index g, on_site) with
                 | (Some i, Some emit) -> begin
                     match List.nth_opt (positional args) i with

@@ -1,5 +1,11 @@
 module Json = Telemetry.Json
 
+(* Appends take an advisory whole-file lock (lockf at offset 0 right
+   after open, before any write): concurrent appenders — serve daemon
+   requests, a parallel `make bench`, several processes sharing one
+   ledger — serialise on it, so JSONL lines never interleave partially.
+   The lock is released by the close in [finally]; within one process,
+   O_APPEND single-write atomicity already keeps domains whole-line. *)
 let append ~path record =
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
@@ -7,6 +13,7 @@ let append ~path record =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+       Unix.lockf (Unix.descr_of_out_channel oc) Unix.F_LOCK 0;
        output_string oc (Json.to_string (Record.to_json record));
        output_char oc '\n');
   if Telemetry.Metrics.enabled () then

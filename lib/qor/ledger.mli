@@ -2,13 +2,17 @@
     line per recorded flow run.
 
     Appending never rewrites history — the file is opened in append mode
-    and each record is one [write] of one line, so concurrent recorders
-    interleave whole lines.  Loading is tolerant: lines that fail to
-    parse are skipped and reported, not fatal, because a ledger is a log
-    and a log survives partial corruption. *)
+    and each append holds an advisory whole-file lock ([lockf]) for the
+    duration of its single-line write, so concurrent recorders — a serve
+    daemon, a parallel [make bench], several processes sharing one
+    ledger — interleave whole lines, never fragments.  Loading is
+    tolerant: lines that fail to parse are skipped and reported, not
+    fatal, because a ledger is a log and a log survives partial
+    corruption. *)
 
 (** [append ~path record] appends one line, creating the file (0644) if
-    needed.  Raises [Sys_error] when the path cannot be written. *)
+    needed, serialised against concurrent appenders by an advisory file
+    lock.  Raises [Sys_error] when the path cannot be written. *)
 val append : path:string -> Record.t -> unit
 
 (** [load ~path] is [(records, complaints)]: every line that parsed, in

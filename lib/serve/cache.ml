@@ -1,0 +1,90 @@
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.logxor !h (Int64.of_int (Char.code c));
+       h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let key ~tech ~style ~bits ~seed ~trials =
+  fnv1a
+    (Printf.sprintf "%s;%s;%d;%d;%d" (Qor.Record.tech_hash tech)
+       (Ccplace.Style.name style) bits seed trials)
+
+type t = {
+  lock : Mutex.t;
+  table : (string, string) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  capacity : int;
+  dir : string option;
+}
+
+let create ?dir ~capacity () =
+  (match dir with
+   | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+   | Some _ | None -> ());
+  { lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity = max 1 capacity;
+    dir }
+
+let entry_path dir k = Filename.concat dir (k ^ ".json")
+
+let disk_find t k =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+    let path = entry_path dir k in
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let payload =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Some payload
+    end
+    else None
+
+(* Atomic publish: a reader either sees the whole entry or no entry. *)
+let disk_store t k payload =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let path = entry_path dir k in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc payload);
+    Sys.rename tmp path
+
+let mem_store_locked t k payload =
+  if not (Hashtbl.mem t.table k) then begin
+    if Queue.length t.order >= t.capacity then
+      Hashtbl.remove t.table (Queue.pop t.order);
+    Hashtbl.replace t.table k payload;
+    Queue.push k t.order
+  end
+
+let find t k =
+  let in_memory =
+    Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k)
+  in
+  match in_memory with
+  | Some _ as hit -> hit
+  | None -> begin
+      match disk_find t k with
+      | Some payload as hit ->
+        Mutex.protect t.lock (fun () -> mem_store_locked t k payload);
+        hit
+      | None -> None
+    end
+
+let store t k payload =
+  Mutex.protect t.lock (fun () -> mem_store_locked t k payload);
+  disk_store t k payload
+
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)

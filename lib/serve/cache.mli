@@ -1,0 +1,44 @@
+(** Content-addressed result cache for the placement service.
+
+    The key is a 16-hex-digit FNV-1a digest of
+    [(tech_hash, style, bits, seed, trials)] — every input that can
+    change a flow result.  [jobs] is deliberately {e absent}: PR 5 made
+    flow results bitwise-identical at every worker count, so one cached
+    payload serves requests at any parallelism.
+
+    Values are the {e raw response-payload bytes} (the serialised
+    {!Qor.Record} plus any Monte-Carlo summary), not re-encoded JSON
+    trees: a cache hit must be byte-identical to the freshly-computed
+    response it stands in for, and storing the bytes is what guarantees
+    it.
+
+    Two tiers share the key space: a bounded in-memory table (FIFO
+    eviction at [capacity]) and an optional on-disk directory, one
+    [<key>.json] file per entry, written atomically (temp + rename) so a
+    killed server never leaves a torn entry.  Disk hits are promoted
+    into memory.  All operations are mutex-guarded and domain-safe. *)
+
+type t
+
+(** [key ~tech ~style ~bits ~seed ~trials] — the content address. *)
+val key :
+  tech:Tech.Process.t ->
+  style:Ccplace.Style.t ->
+  bits:int ->
+  seed:int ->
+  trials:int ->
+  string
+
+(** [create ?dir ~capacity ()] — [capacity] bounds the in-memory tier
+    (oldest-in evicted first); [dir] enables the disk tier (created if
+    missing). *)
+val create : ?dir:string -> capacity:int -> unit -> t
+
+(** [find t k] is the cached payload, memory first, then disk. *)
+val find : t -> string -> string option
+
+(** [store t k payload] writes both tiers (disk atomically). *)
+val store : t -> string -> string -> unit
+
+(** [length t] is the in-memory entry count (for the gauge metric). *)
+val length : t -> int

@@ -1,0 +1,40 @@
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let sockaddr_of = function
+  | Daemon.Unix_path path -> Unix.ADDR_UNIX path
+  | Daemon.Tcp (host, port) ->
+    let inet =
+      match Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> Unix.inet_addr_loopback
+    in
+    Unix.ADDR_INET (inet, port)
+
+let connect addr =
+  let ic, oc = Unix.open_connection (sockaddr_of addr) in
+  { ic; oc }
+
+let send t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | line -> Some line
+  | exception End_of_file -> None
+
+let request t line =
+  send t line;
+  recv t
+
+let close t =
+  (* ic and oc share one fd: close_out_noerr flushes and closes it, the
+     second close is a swallowed EBADF. *)
+  close_out_noerr t.oc;
+  close_in_noerr t.ic

@@ -1,0 +1,19 @@
+(** Minimal line-protocol client for the placement service, shared by
+    [ccgen request] and the {!Loadgen} bench driver. *)
+
+type t
+
+(** [connect addr].  Raises [Unix.Unix_error] when nothing listens. *)
+val connect : Daemon.addr -> t
+
+(** [send t line] writes one request line (newline appended, flushed). *)
+val send : t -> string -> unit
+
+(** [recv t] is the next response line, [None] at EOF.  Responses arrive
+    in request order (the daemon answers each connection FIFO). *)
+val recv : t -> string option
+
+(** [request t line] is {!send} then {!recv}. *)
+val request : t -> string -> string option
+
+val close : t -> unit

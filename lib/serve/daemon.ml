@@ -1,0 +1,206 @@
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+type stats = {
+  served : int;
+  cache_hits : int;
+  errors : int;
+  busy : int;
+  drained : bool;
+}
+
+let addr_to_string = function
+  | Unix_path path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let listen_socket = function
+  | Unix_path path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let inet =
+      match Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> Unix.inet_addr_loopback
+    in
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* One connected client: its socket, the bytes received so far that do
+   not yet end in a newline, and whether it hit EOF (an EOF'd client
+   stays around until its queued requests have been answered). *)
+type client = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;
+  mutable eof : bool;
+}
+
+let run ?(max_queue = 256) ?(batch = 32) ?(ready = fun _ -> ()) ~engine addr =
+  let stop = Atomic.make false in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore () =
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigpipe old_pipe;
+    match addr with
+    | Unix_path path -> if Sys.file_exists path then Unix.unlink path
+    | Tcp _ -> ()
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  let listen_fd = listen_socket addr in
+  ready (addr_to_string addr);
+  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+  let queue : (Unix.file_descr * string) Queue.t = Queue.create () in
+  let served = ref 0 and cache_hits = ref 0 in
+  let errors = ref 0 and busy = ref 0 in
+  let accepting = ref true in
+  let close_listen () =
+    if !accepting then begin
+      accepting := false;
+      Unix.close listen_fd
+    end
+  in
+  let drop_client c =
+    Hashtbl.remove clients c.fd;
+    Unix.close c.fd
+  in
+  let send c line =
+    match write_all c.fd (line ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      drop_client c
+  in
+  let enqueue c line =
+    if String.trim line = "" then ()
+    else if Queue.length queue >= max_queue then begin
+      incr busy;
+      Telemetry.Metrics.incr ~label:"queue-full" "serve/rejected_total";
+      let retry_after_s = 0.01 *. float_of_int (Queue.length queue) in
+      send c (Response.busy ~server:(Engine.server engine) ~retry_after_s ())
+    end
+    else begin
+      Queue.push (c.fd, line) queue;
+      Telemetry.Metrics.observe "serve/queue_depth"
+        (float_of_int (Queue.length queue))
+    end
+  in
+  let feed c data =
+    Buffer.add_string c.pending data;
+    let rec split () =
+      let s = Buffer.contents c.pending in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+        Buffer.clear c.pending;
+        Buffer.add_string c.pending
+          (String.sub s (i + 1) (String.length s - i - 1));
+        enqueue c (String.sub s 0 i);
+        split ()
+    in
+    split ()
+  in
+  let read_client c =
+    let buf = Bytes.create 65536 in
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+      (* EOF: a final unterminated line still counts as a request; the
+         socket stays open until its queued requests are answered. *)
+      if Buffer.length c.pending > 0 then begin
+        enqueue c (Buffer.contents c.pending);
+        Buffer.clear c.pending
+      end;
+      c.eof <- true
+    | n -> feed c (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_client c
+    | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+  in
+  let queued_for fd =
+    Queue.fold (fun acc (qfd, _) -> acc || qfd = fd) false queue
+  in
+  let reap_eof () =
+    let done_ =
+      Hashtbl.fold
+        (fun fd c acc -> if c.eof && not (queued_for fd) then c :: acc else acc)
+        clients []
+    in
+    List.iter drop_client done_
+  in
+  let run_batch () =
+    if not (Queue.is_empty queue) then begin
+      let take = min batch (Queue.length queue) in
+      let entries = List.init take (fun _ -> Queue.pop queue) in
+      let outcomes = Engine.handle_batch engine (List.map snd entries) in
+      List.iter2
+        (fun (fd, _) (o : Engine.outcome) ->
+           (match o.Engine.code with
+            | None ->
+              incr served;
+              if o.Engine.cached then incr cache_hits
+            | Some _ -> incr errors);
+           match Hashtbl.find_opt clients fd with
+           | Some c -> send c o.Engine.line
+           | None -> ())
+        entries outcomes
+    end
+  in
+  let rec loop () =
+    if Atomic.get stop then close_listen ();
+    if (not !accepting) && Queue.is_empty queue then ()
+    else begin
+      let fds =
+        (if !accepting then [ listen_fd ] else [])
+        @ Hashtbl.fold
+            (fun fd c acc -> if c.eof then acc else fd :: acc)
+            clients []
+      in
+      let readable =
+        match Unix.select fds [] [] 0.05 with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      List.iter
+        (fun fd ->
+           if !accepting && fd = listen_fd then begin
+             match Unix.accept listen_fd with
+             | cfd, _ ->
+               Hashtbl.replace clients cfd
+                 { fd = cfd; pending = Buffer.create 256; eof = false }
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           end
+           else
+             match Hashtbl.find_opt clients fd with
+             | Some c -> read_client c
+             | None -> ())
+        readable;
+      run_batch ();
+      reap_eof ();
+      loop ()
+    end
+  in
+  loop ();
+  Hashtbl.iter (fun _ c -> Unix.close c.fd) clients;
+  { served = !served;
+    cache_hits = !cache_hits;
+    errors = !errors;
+    busy = !busy;
+    drained = Queue.is_empty queue }

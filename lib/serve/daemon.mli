@@ -1,0 +1,46 @@
+(** The socket front of the placement service: accept loop, bounded
+    queue, batch scheduling onto {!Engine}, graceful drain.
+
+    Protocol (docs/SERVE.md): clients connect to a Unix or TCP socket
+    and send one JSON request per line; the daemon answers one JSON
+    response per line, in per-client request order.  The daemon never
+    dies on a bad request — malformed, invalid and verify-rejected
+    requests get structured error responses.
+
+    {b Backpressure.}  Accepted requests wait in a bounded queue; when
+    it is full, new requests are answered immediately with a
+    [status = "busy"] response carrying [retry_after_s] instead of being
+    queued.
+
+    {b Drain.}  SIGINT/SIGTERM set a stop flag (handlers are installed
+    for the duration of {!run} and restored on return): the listening
+    socket closes at once, every already-queued request is still
+    computed and answered, the ledger/cache state is flushed, and {!run}
+    returns its lifetime {!stats}. *)
+
+type addr =
+  | Unix_path of string       (** Unix-domain stream socket at this path *)
+  | Tcp of string * int       (** host, port *)
+
+(** Lifetime counters, returned when the daemon drains. *)
+type stats = {
+  served : int;       (** ok responses (cache hits included) *)
+  cache_hits : int;
+  errors : int;       (** error responses (malformed/invalid/rejected/internal) *)
+  busy : int;         (** busy responses (queue-full backpressure) *)
+  drained : bool;     (** always true on normal return: the queue was empty *)
+}
+
+(** [run ?max_queue ?batch ?ready ~engine addr] serves until
+    SIGINT/SIGTERM, then drains and returns.  [max_queue] (default 256)
+    bounds the accepted-request queue; [batch] (default 32) caps how
+    many queued requests are handed to {!Engine.handle_batch} at once;
+    [ready] is called once with a printable address after [listen]
+    succeeds (the CLI prints it; scripts wait for it). *)
+val run :
+  ?max_queue:int ->
+  ?batch:int ->
+  ?ready:(string -> unit) ->
+  engine:Engine.t ->
+  addr ->
+  stats

@@ -1,0 +1,52 @@
+(** The IO-free heart of the placement service: takes request {e lines},
+    returns response {e lines}.
+
+    The daemon wraps this in sockets and signals; tests and the
+    single-shot CLI drive it directly, so every protocol behaviour —
+    validation, verify gating, cache hits, fault isolation — is
+    exercisable without a socket.
+
+    Batches are scheduled onto a persistent {!Par.Pool}: the daemon
+    drains whatever is queued and hands it over as one batch, so
+    concurrent requests compute in parallel while each task keeps the
+    pool's per-task fault isolation (a crashing flow answers
+    [internal-error]; a {!Verify.Engine.Rejected} flow answers
+    [verify-rejected]; the engine itself never dies).  Flow runs inside
+    a batch use [jobs = 1] — parallelism comes from running requests
+    side by side, which keeps results bitwise-identical to a serial
+    server (docs/PARALLEL.md). *)
+
+type t
+
+(** One handled request, pre-rendered.  [line] is the full response
+    (without trailing newline); [payload] the spliced [result] bytes
+    when [code] is [None] (success). *)
+type outcome = {
+  line : string;
+  code : string option;  (** [None] = ok; [Some code] = the error code *)
+  cached : bool;
+  payload : string option;
+}
+
+(** [create ?cache_dir ?cache_capacity ?jobs ()].  [jobs] resolves via
+    {!Par.Jobs.resolve} and sizes the batch pool; [cache_capacity]
+    (default 4096) bounds the in-memory cache tier; [cache_dir] enables
+    the on-disk tier. *)
+val create : ?cache_dir:string -> ?cache_capacity:int -> ?jobs:int -> unit -> t
+
+(** The resolved worker count (for banners and bench provenance). *)
+val jobs : t -> int
+
+(** The {!Version.server} string stamped into every response. *)
+val server : t -> string
+
+(** [handle_batch t lines] handles each line and returns outcomes in
+    submission order.  Cache misses of the batch run concurrently on the
+    pool. *)
+val handle_batch : t -> string list -> outcome list
+
+(** [handle_line t line] is the single-request form. *)
+val handle_line : t -> string -> outcome
+
+(** [shutdown t] joins the pool.  [t] must not be used afterwards. *)
+val shutdown : t -> unit

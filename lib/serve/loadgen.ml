@@ -1,0 +1,110 @@
+type result = {
+  requests : int;
+  ok : int;
+  errors : int;
+  busy : int;
+  cache_hits : int;
+  hit_rate : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  elapsed_s : float;
+}
+
+(* The daemon composes envelopes itself with a fixed field order
+   (Response), so classifying by prefix/substring is exact — and cheap
+   enough to disappear next to 10k socket round-trips. *)
+let classify line =
+  if String.length line >= 15 && String.equal (String.sub line 0 15) "{\"status\":\"ok\"," then begin
+    let cached =
+      let marker = "\"cached\":true" in
+      let n = String.length line and m = String.length marker in
+      let rec scan i =
+        if i + m > n then false
+        else if String.equal (String.sub line i m) marker then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    `Ok cached
+  end
+  else if String.length line >= 16
+          && String.equal (String.sub line 0 16) "{\"status\":\"busy\"" then `Busy
+  else `Error
+
+let zipf_picker ~zipf_s ~universe =
+  let n = Array.length universe in
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  Array.iteri
+    (fun i _ ->
+       total := !total +. (1. /. Float.pow (float_of_int (i + 1)) zipf_s);
+       cum.(i) <- !total)
+    universe;
+  fun state ->
+    let u = Random.State.float state !total in
+    let rec find i = if i >= n - 1 || cum.(i) > u then i else find (i + 1) in
+    universe.(find 0)
+
+let run ?(seed = 1) ?(window = 64)
+    ?(styles = [ "spiral"; "chessboard"; "rowwise"; "bc" ])
+    ?(bits_choices = [ 4; 6; 8 ]) ?(zipf_s = 1.1) ~requests addr =
+  let universe =
+    Array.of_list
+      (List.concat_map
+         (fun style -> List.map (fun bits -> (style, bits)) bits_choices)
+         styles)
+  in
+  let pick = zipf_picker ~zipf_s ~universe in
+  let state = Random.State.make [| seed |] in
+  let client = Client.connect addr in
+  let latencies = Array.make (max 1 requests) 0. in
+  let sent_at = Queue.create () in
+  let ok = ref 0 and errors = ref 0 and busy = ref 0 in
+  let cache_hits = ref 0 and received = ref 0 in
+  let drain_one () =
+    match Client.recv client with
+    | None -> raise End_of_file
+    | Some line ->
+      let t_sent = Queue.pop sent_at in
+      latencies.(!received) <-
+        Telemetry.Clock.(to_s (since_ns t_sent)) *. 1000.;
+      incr received;
+      (match classify line with
+       | `Ok cached ->
+         incr ok;
+         if cached then incr cache_hits
+       | `Busy -> incr busy
+       | `Error -> incr errors)
+  in
+  let t0 = Telemetry.Clock.now_ns () in
+  for i = 0 to requests - 1 do
+    let style, bits = pick state in
+    let line =
+      Telemetry.Json.to_string
+        (Request.to_json ~id:(Printf.sprintf "r%d" i) ~seed ~trials:0 ~style
+           ~bits ())
+    in
+    if Queue.length sent_at >= window then drain_one ();
+    Queue.push (Telemetry.Clock.now_ns ()) sent_at;
+    Client.send client line
+  done;
+  while not (Queue.is_empty sent_at) do
+    drain_one ()
+  done;
+  let elapsed_s = Telemetry.Clock.since_s t0 in
+  Client.close client;
+  let measured = Array.sub latencies 0 !received in
+  Array.sort Float.compare measured;
+  { requests;
+    ok = !ok;
+    errors = !errors;
+    busy = !busy;
+    cache_hits = !cache_hits;
+    hit_rate =
+      (if !ok > 0 then float_of_int !cache_hits /. float_of_int !ok else 0.);
+    throughput_rps =
+      (if elapsed_s > 0. then float_of_int requests /. elapsed_s else 0.);
+    p50_ms = Dacmodel.Montecarlo.percentile measured 0.50;
+    p95_ms = Dacmodel.Montecarlo.percentile measured 0.95;
+    elapsed_s }

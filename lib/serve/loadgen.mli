@@ -1,0 +1,41 @@
+(** Load generator for [bench serve]: replay a Zipf-skewed mix of
+    placement requests against a running daemon and measure what a
+    client sees.
+
+    The request universe is the cross product [styles x bits]; shape
+    ranks get Zipf weights [1 / (rank+1)^zipf_s], so a skewed mix
+    revisits its head shapes constantly — which is exactly when the
+    content-addressed cache must earn its keep (the acceptance bar is a
+    >= 50% hit-rate at 10k requests).  Sampling uses an explicit
+    [Random.State] from [seed]; the same seed replays the same mix.
+
+    Latency is measured per request on the client side (monotonic
+    {!Telemetry.Clock}), with up to [window] requests pipelined per
+    connection; percentiles use the nearest-rank convention of
+    {!Dacmodel.Montecarlo.percentile}. *)
+
+type result = {
+  requests : int;
+  ok : int;
+  errors : int;          (** error responses (should be 0 on a clean mix) *)
+  busy : int;            (** queue-full responses (counted, not retried) *)
+  cache_hits : int;
+  hit_rate : float;      (** [cache_hits / ok] ([0.] when [ok = 0]) *)
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  elapsed_s : float;
+}
+
+(** [run ?seed ?window ?styles ?bits_choices ?zipf_s ~requests addr].
+    Defaults: [seed 1], [window 64], [styles] = spiral, chessboard,
+    rowwise, bc; [bits_choices] = 4, 6, 8; [zipf_s 1.1]. *)
+val run :
+  ?seed:int ->
+  ?window:int ->
+  ?styles:string list ->
+  ?bits_choices:int list ->
+  ?zipf_s:float ->
+  requests:int ->
+  Daemon.addr ->
+  result

@@ -1,0 +1,74 @@
+(** One placement-service request: the parsed, validated form of a
+    newline-delimited JSON request line (docs/SERVE.md).
+
+    Wire schema — every field optional except [style]/[bits] have
+    defaults too, so [{}] is a valid request:
+
+    {v
+    {"id": "r42",              client correlation id, echoed back
+     "style": "spiral",        spiral | chessboard | rowwise | bc
+     "bits": 8,                [2, Ccgrid.Weights.max_bits]
+     "granularity": 2,         bc only: cells per block side
+     "core_bits": 4,           bc only: inner-core resolution
+     "seed": 1,                Monte-Carlo substream seed
+     "trials": 0,              Monte-Carlo trials (0 = skip the mc stage)
+     "tech": "finfet",         base preset: finfet | bulk
+     "overrides": {"unit_cap": 8.0, ...}}   per-field tech overrides
+    v}
+
+    Validation is the {!Verify} registry's job: a request whose derived
+    tech or style fails an Error-severity rule is rejected {e before} any
+    flow work, with the fired rule ids in the structured error. *)
+
+type t = {
+  id : string option;        (** client correlation id, echoed in responses *)
+  style : Ccplace.Style.t;
+  bits : int;
+  seed : int;
+  trials : int;              (** 0 = no Monte-Carlo stage *)
+  tech : Tech.Process.t;     (** base preset with overrides applied *)
+}
+
+(** A structured request failure, rendered as the [error] object of an
+    error response.  [code] is one of [malformed], [invalid-request],
+    [verify-rejected], [queue-full], [internal-error]; [rules] carries
+    the fired verify rule ids when [code = verify-rejected]. *)
+type error = {
+  code : string;
+  detail : string;
+  rules : string list;
+}
+
+(** The tech-override keys {!of_json} accepts, mirroring the float keys
+    of {!Tech.Techfile} (layer edits excluded). *)
+val override_keys : string list
+
+(** [of_json j] parses and validates one request.  Unknown fields,
+    non-integral counts, unknown styles/techs/override keys and
+    out-of-range values are [invalid-request]; a derived tech or style
+    that fires an Error-severity verify rule is [verify-rejected]. *)
+val of_json : Telemetry.Json.t -> (t, error) result
+
+(** [of_line line] is {!of_json} after parsing; a line that is not JSON
+    at all is a [malformed] error. *)
+val of_line : string -> (t, error) result
+
+(** [to_json ?id ?granularity ?core_bits ?seed ?trials ?tech ?overrides
+    ~style ~bits ()] builds a wire request — the client-side encoder the
+    load generator and [ccgen request] share.  [style] is the wire name
+    ([spiral], [chessboard], [rowwise], [bc]). *)
+val to_json :
+  ?id:string ->
+  ?granularity:int ->
+  ?core_bits:int ->
+  ?seed:int ->
+  ?trials:int ->
+  ?tech:string ->
+  ?overrides:(string * float) list ->
+  style:string ->
+  bits:int ->
+  unit ->
+  Telemetry.Json.t
+
+(** [error_to_json e] is the [error] object of an error response. *)
+val error_to_json : error -> Telemetry.Json.t

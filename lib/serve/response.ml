@@ -1,0 +1,31 @@
+module Json = Telemetry.Json
+
+(* Envelopes are composed by string concatenation around the payload
+   bytes, never by re-encoding a parsed tree: a cache hit must ship the
+   byte-identical payload the first computation produced, and splicing
+   is what guarantees no re-serialisation can perturb it. *)
+
+let id_part = function
+  | None -> ""
+  | Some id -> Printf.sprintf ",\"id\":%s" (Json.escape id)
+
+let num v = Json.to_string (Json.Num v)
+
+let ok ?id ~server ~cached ~elapsed_ms ~payload () =
+  Printf.sprintf "{\"status\":\"ok\"%s,\"server\":%s,\"cached\":%b,\"elapsed_ms\":%s,\"result\":%s}"
+    (id_part id) (Json.escape server) cached (num elapsed_ms) payload
+
+let error ?id ~server (e : Request.error) () =
+  Printf.sprintf "{\"status\":\"error\"%s,\"server\":%s,\"error\":%s}"
+    (id_part id) (Json.escape server)
+    (Json.to_string (Request.error_to_json e))
+
+let busy ?id ~server ~retry_after_s () =
+  Printf.sprintf
+    "{\"status\":\"busy\"%s,\"server\":%s,\"retry_after_s\":%s,\"error\":%s}"
+    (id_part id) (Json.escape server) (num retry_after_s)
+    (Json.to_string
+       (Request.error_to_json
+          { Request.code = "queue-full";
+            detail = "request queue is full; retry after the given delay";
+            rules = [] }))

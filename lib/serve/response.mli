@@ -1,0 +1,27 @@
+(** Wire responses (one JSON object per line; docs/SERVE.md).
+
+    The [ok] envelope is composed by {e splicing} the payload bytes
+    verbatim, so a cache hit is byte-identical (in its [result] field)
+    to the response the first computation produced. *)
+
+(** [ok ?id ~server ~cached ~elapsed_ms ~payload ()] is
+    [{"status":"ok","id":...,"server":...,"cached":...,
+    "elapsed_ms":...,"result":<payload>}]. *)
+val ok :
+  ?id:string ->
+  server:string ->
+  cached:bool ->
+  elapsed_ms:float ->
+  payload:string ->
+  unit ->
+  string
+
+(** [error ?id ~server e ()] is [{"status":"error",...,"error":
+    {"code":...,"detail":...,"rules":[...]}}]. *)
+val error : ?id:string -> server:string -> Request.error -> unit -> string
+
+(** [busy ?id ~server ~retry_after_s ()] is the backpressure reply:
+    [{"status":"busy",...,"retry_after_s":...,"error":{"code":
+    "queue-full",...}}]. *)
+val busy :
+  ?id:string -> server:string -> retry_after_s:float -> unit -> string

@@ -1,0 +1,14 @@
+(** The toolkit's release identity, as served over the wire.
+
+    [changelog] is the current CHANGELOG.md release; {!server} decorates
+    it with the git/host provenance {!Qor.Provenance} already captures,
+    producing the [server] field of every serve response and the output
+    of [ccgen version]. *)
+
+(** The CHANGELOG.md version of this tree, e.g. ["1.10.0"]. *)
+val changelog : string
+
+(** [server ()] is ["ccdac/<version> host=<host> commit=<sha8>"] (commit
+    omitted outside a git checkout).  Captured once per call — cheap, no
+    subprocess. *)
+val server : unit -> string

@@ -1,0 +1,288 @@
+(* Tests for the placement service: request validation and structured
+   errors, the verify gate with pinned rule ids, cache byte-identity
+   (memory tier, disk tier, and across JSON field reordering), the
+   daemon's SIGTERM drain, and the ledger's advisory append lock under
+   concurrent writer processes.
+
+   The daemon and the ledger writers are real child processes: we
+   re-exec this test binary with a sentinel argv (forking an OCaml 5
+   runtime is unsafe once domains exist), the same trick bench/main.ml
+   uses for its serve artefact. *)
+
+let tech = Tech.Process.finfet_12nm
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let temp_name prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+(* --- child modes (argv sentinels, handled before Alcotest runs) --- *)
+
+let daemon_child socket =
+  let engine = Serve.Engine.create ~jobs:1 () in
+  (* batch=1 so a burst of requests stays queued across loop
+     iterations — the state the drain guarantee is about *)
+  let stats =
+    Serve.Daemon.run ~batch:1 ~engine (Serve.Daemon.Unix_path socket)
+  in
+  Serve.Engine.shutdown engine;
+  exit (if stats.Serve.Daemon.drained then 0 else 1)
+
+let ledger_child path count =
+  let r = Ccdac.Flow.run ~tech ~bits:2 Ccplace.Style.Spiral in
+  let record = Qor.Record.of_result r in
+  for _ = 1 to count do
+    Qor.Ledger.append ~path record
+  done;
+  exit 0
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "serve-daemon-child" :: socket :: _ -> daemon_child socket
+  | _ :: "ledger-child" :: path :: count :: _ ->
+    ledger_child path (int_of_string count)
+  | _ -> ()
+
+let spawn_child args =
+  let exe = Sys.executable_name in
+  Unix.create_process exe
+    (Array.of_list (exe :: args))
+    Unix.stdin Unix.stdout Unix.stderr
+
+let wait_exit_code pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, Unix.WSIGNALED s -> Alcotest.failf "child killed by signal %d" s
+  | _, Unix.WSTOPPED s -> Alcotest.failf "child stopped by signal %d" s
+
+(* --- engine: protocol behaviour without a socket --- *)
+
+let engine = lazy (Serve.Engine.create ~jobs:1 ())
+
+let handle line = Serve.Engine.handle_line (Lazy.force engine) line
+
+let test_malformed () =
+  let o = handle "this is not json" in
+  Alcotest.(check (option string)) "code" (Some "malformed") o.Serve.Engine.code;
+  Alcotest.(check bool) "error envelope" true
+    (contains o.Serve.Engine.line {|"status":"error"|});
+  Alcotest.(check bool) "code in body" true
+    (contains o.Serve.Engine.line {|"code": "malformed"|})
+
+let test_invalid_request () =
+  let o = handle {|{"style":"spiral","bits":1}|} in
+  Alcotest.(check (option string)) "bits too small" (Some "invalid-request")
+    o.Serve.Engine.code;
+  let o = handle {|{"style":"spiral","bits":4,"wat":1}|} in
+  Alcotest.(check (option string)) "unknown field" (Some "invalid-request")
+    o.Serve.Engine.code;
+  Alcotest.(check bool) "names the field" true
+    (contains o.Serve.Engine.line "wat");
+  let o = handle {|{"style":"mosaic","bits":4}|} in
+  Alcotest.(check (option string)) "unknown style" (Some "invalid-request")
+    o.Serve.Engine.code
+
+let test_verify_rejected_rules () =
+  let o = handle {|{"style":"spiral","bits":4,"overrides":{"unit_cap":-1}}|} in
+  Alcotest.(check (option string)) "code" (Some "verify-rejected")
+    o.Serve.Engine.code;
+  (* the fired rule ids are part of the wire contract — pinned *)
+  Alcotest.(check bool) "pinned rule id" true
+    (contains o.Serve.Engine.line {|"rules": ["tech/positive-capacitance"]|})
+
+let test_id_echo () =
+  let o = handle {|{"id":"e9","style":"spiral","bits":1}|} in
+  Alcotest.(check bool) "id echoed on error" true
+    (contains o.Serve.Engine.line {|"id":"e9"|});
+  let o = handle {|{"id":"ok7","style":"spiral","bits":3}|} in
+  Alcotest.(check (option string)) "ok" None o.Serve.Engine.code;
+  Alcotest.(check bool) "id echoed on success" true
+    (contains o.Serve.Engine.line {|"id":"ok7"|})
+
+let test_cache_byte_identity () =
+  let fresh = handle {|{"id":"a","style":"chessboard","bits":5,"seed":3}|} in
+  let cached = handle {|{"id":"b","style":"chessboard","bits":5,"seed":3}|} in
+  Alcotest.(check (option string)) "fresh ok" None fresh.Serve.Engine.code;
+  Alcotest.(check bool) "first miss" false fresh.Serve.Engine.cached;
+  Alcotest.(check bool) "second hit" true cached.Serve.Engine.cached;
+  (* the result payload is spliced bytes, never re-encoded: a hit is
+     byte-identical to the computation it stands in for *)
+  Alcotest.(check (option string)) "byte-identical payload"
+    fresh.Serve.Engine.payload cached.Serve.Engine.payload;
+  Alcotest.(check bool) "payload present" true
+    (Option.is_some fresh.Serve.Engine.payload)
+
+let test_cache_disk_tier () =
+  let dir = temp_name "serve_cache" in
+  let line = {|{"style":"rowwise","bits":4,"seed":7}|} in
+  let first = Serve.Engine.create ~jobs:1 ~cache_dir:dir () in
+  let fresh = Serve.Engine.handle_line first line in
+  Serve.Engine.shutdown first;
+  (* a new engine over the same directory serves the stored bytes *)
+  let second = Serve.Engine.create ~jobs:1 ~cache_dir:dir () in
+  let warm = Serve.Engine.handle_line second line in
+  Serve.Engine.shutdown second;
+  Alcotest.(check bool) "disk hit" true warm.Serve.Engine.cached;
+  Alcotest.(check (option string)) "byte-identical across restart"
+    fresh.Serve.Engine.payload warm.Serve.Engine.payload;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* --- cache keys: stability and sensitivity --- *)
+
+let parse_request line =
+  match Serve.Request.of_line line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request rejected: %s" e.Serve.Request.detail
+
+let key_of (r : Serve.Request.t) =
+  Serve.Cache.key ~tech:r.Serve.Request.tech ~style:r.Serve.Request.style
+    ~bits:r.Serve.Request.bits ~seed:r.Serve.Request.seed
+    ~trials:r.Serve.Request.trials
+
+let test_key_field_order_invariant () =
+  (* same request, fields (and override fields) in different order: the
+     tech hash and therefore the content address must not move *)
+  let a =
+    parse_request
+      {|{"style":"spiral","bits":6,"seed":2,"tech":"finfet","overrides":{"unit_cap":8.0,"gradient_ppm":120.0}}|}
+  in
+  let b =
+    parse_request
+      {|{"overrides":{"gradient_ppm":120.0,"unit_cap":8.0},"tech":"finfet","seed":2,"bits":6,"style":"spiral"}|}
+  in
+  Alcotest.(check string) "same key" (key_of a) (key_of b)
+
+let test_key_sensitivity () =
+  let base = {|{"style":"spiral","bits":6,"seed":2}|} in
+  let k = key_of (parse_request base) in
+  let differs label line =
+    Alcotest.(check bool) label true
+      (not (String.equal k (key_of (parse_request line))))
+  in
+  differs "bits" {|{"style":"spiral","bits":7,"seed":2}|};
+  differs "style" {|{"style":"rowwise","bits":6,"seed":2}|};
+  differs "seed" {|{"style":"spiral","bits":6,"seed":3}|};
+  differs "trials" {|{"style":"spiral","bits":6,"seed":2,"trials":10}|};
+  differs "tech override"
+    {|{"style":"spiral","bits":6,"seed":2,"overrides":{"unit_cap":9.0}}|}
+
+(* --- daemon: SIGTERM drains queued requests --- *)
+
+let test_sigterm_drains () =
+  let socket = temp_name "serve_sock" in
+  let pid = spawn_child [ "serve-daemon-child"; socket ] in
+  let rec wait_up n =
+    if Sys.file_exists socket then ()
+    else if n > 200 then begin
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.fail "daemon did not come up"
+    end
+    else begin
+      Unix.sleepf 0.02;
+      wait_up (n + 1)
+    end
+  in
+  wait_up 0;
+  let client = Serve.Client.connect (Serve.Daemon.Unix_path socket) in
+  (* one write carrying five requests: the daemon ingests them in one
+     read, and with batch=1 four are still queued when the first answer
+     comes back — that is the moment we deliver SIGTERM *)
+  let req i =
+    Printf.sprintf {|{"id":"d%d","style":"spiral","bits":4,"seed":1}|} i
+  in
+  Serve.Client.send client
+    (String.concat "\n" (List.map req [ 1; 2; 3; 4; 5 ]));
+  (match Serve.Client.recv client with
+   | Some line ->
+     Alcotest.(check bool) "first answered" true (contains line {|"id":"d1"|})
+   | None -> Alcotest.fail "daemon closed before first response");
+  Unix.kill pid Sys.sigterm;
+  List.iter
+    (fun i ->
+       match Serve.Client.recv client with
+       | Some line ->
+         Alcotest.(check bool)
+           (Printf.sprintf "request %d drained" i)
+           true
+           (contains line (Printf.sprintf {|"id":"d%d"|} i))
+       | None -> Alcotest.failf "request %d dropped during drain" i)
+    [ 2; 3; 4; 5 ];
+  Alcotest.(check (option string)) "clean EOF after drain" None
+    (Serve.Client.recv client);
+  Serve.Client.close client;
+  Alcotest.(check int) "daemon exited drained" 0 (wait_exit_code pid)
+
+(* --- ledger: advisory lock serialises concurrent appenders --- *)
+
+let test_ledger_concurrent_appends () =
+  let path = temp_name "serve_ledger" in
+  let writers = 4 and per_writer = 20 in
+  let pids =
+    List.init writers (fun _ ->
+        spawn_child [ "ledger-child"; path; string_of_int per_writer ])
+  in
+  List.iter
+    (fun pid -> Alcotest.(check int) "writer exit" 0 (wait_exit_code pid))
+    pids;
+  let records, complaints = Qor.Ledger.load ~path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "no torn lines" [] complaints;
+  Alcotest.(check int) "every append landed" (writers * per_writer)
+    (List.length records)
+
+(* --- serve record decoration round-trips the ledger --- *)
+
+let test_serve_record_roundtrip () =
+  let r = Ccdac.Flow.run ~tech ~bits:4 Ccplace.Style.Spiral in
+  let record =
+    Qor.Record.with_serve ~requests:10_000 ~throughput_rps:25000.0
+      ~p50_ms:1.5 ~p95_ms:2.5 ~hit_rate:0.99
+      (Qor.Record.of_result r)
+  in
+  let path = temp_name "serve_row" in
+  Qor.Ledger.append ~path record;
+  let records, complaints = Qor.Ledger.load ~path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "clean parse" [] complaints;
+  match records with
+  | [ back ] ->
+    Alcotest.(check int) "requests" 10_000 back.Qor.Record.serve_requests;
+    Alcotest.(check (float 1e-9)) "throughput" 25000.0
+      back.Qor.Record.serve_throughput_rps;
+    Alcotest.(check (float 1e-9)) "p95" 2.5 back.Qor.Record.serve_p95_ms;
+    Alcotest.(check (float 1e-9)) "hit rate" 0.99
+      back.Qor.Record.serve_hit_rate
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "engine",
+        [ Alcotest.test_case "malformed line" `Quick test_malformed;
+          Alcotest.test_case "invalid request" `Quick test_invalid_request;
+          Alcotest.test_case "verify rejected, pinned rules" `Quick
+            test_verify_rejected_rules;
+          Alcotest.test_case "id echo" `Quick test_id_echo ] );
+      ( "cache",
+        [ Alcotest.test_case "byte-identical hits" `Quick
+            test_cache_byte_identity;
+          Alcotest.test_case "disk tier survives restart" `Quick
+            test_cache_disk_tier;
+          Alcotest.test_case "key ignores field order" `Quick
+            test_key_field_order_invariant;
+          Alcotest.test_case "key tracks every input" `Quick
+            test_key_sensitivity ] );
+      ( "daemon",
+        [ Alcotest.test_case "sigterm drains queued requests" `Quick
+            test_sigterm_drains ] );
+      ( "ledger",
+        [ Alcotest.test_case "concurrent appends keep whole lines" `Quick
+            test_ledger_concurrent_appends;
+          Alcotest.test_case "serve row roundtrip" `Quick
+            test_serve_record_roundtrip ] ) ]
